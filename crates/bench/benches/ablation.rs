@@ -1,0 +1,74 @@
+//! Ablation benches for the design choices called out in DESIGN.md §3:
+//! mover tie-break, leaf-port tie-break, and multi-path vs single-path
+//! sliding. All variants keep the Θ(k) bound; the bench shows where the
+//! constants move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersion_core::{DispersionDynamic, LeafPortRule, MoverRule, SlidingPolicy};
+use dispersion_engine::adversary::EdgeChurnNetwork;
+use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+
+fn run_policy(policy: SlidingPolicy, n: usize, k: usize, seed: u64) -> u64 {
+    let mut sim = Simulator::new(
+        DispersionDynamic::with_policy(policy),
+        EdgeChurnNetwork::new(n, 0.12, seed),
+        ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+        Configuration::random(n, k, seed, true),
+        SimOptions {
+            validate_graphs: false,
+            ..SimOptions::default()
+        },
+    )
+    .expect("k ≤ n");
+    let out = sim.run().expect("valid");
+    assert!(out.dispersed);
+    out.rounds
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let policies = [
+        ("paper_default", SlidingPolicy::default()),
+        (
+            "mover_smallest",
+            SlidingPolicy {
+                mover: MoverRule::SmallestNonAnchor,
+                ..SlidingPolicy::default()
+            },
+        ),
+        (
+            "leaf_largest_port",
+            SlidingPolicy {
+                leaf_port: LeafPortRule::LargestEmpty,
+                ..SlidingPolicy::default()
+            },
+        ),
+        (
+            "single_path",
+            SlidingPolicy {
+                single_path: true,
+                ..SlidingPolicy::default()
+            },
+        ),
+        (
+            "bfs_tree",
+            SlidingPolicy {
+                bfs_tree: true,
+                ..SlidingPolicy::default()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("sliding_policy_ablation");
+    group.sample_size(10);
+    for k in [16usize, 64] {
+        let n = k + k / 2;
+        for (name, policy) in policies {
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
+                b.iter(|| run_policy(policy, n, k, k as u64));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Per-round cost of the adversaries themselves, including the
+//! oracle-driven searches of the Theorem 1/2 traps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersion_core::baselines::{BlindGlobal, GreedyLocal};
+use dispersion_core::impossibility::near_dispersed_config;
+use dispersion_engine::adversary::{
+    CliqueTrapAdversary, EdgeChurnNetwork, PathTrapAdversary, StarPairAdversary,
+};
+use dispersion_engine::{ModelSpec, SimOptions, Simulator};
+
+fn bench_churn_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_churn_round");
+    for n in [32usize, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // One dispersion round under churn dominates by graph
+            // generation at these sizes; measure a 1-round run.
+            b.iter(|| {
+                let mut sim = Simulator::new(
+                    dispersion_core::DispersionDynamic::new(),
+                    EdgeChurnNetwork::new(n, 0.05, 7),
+                    ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+                    dispersion_engine::Configuration::rooted(
+                        n,
+                        n / 2,
+                        dispersion_graph::NodeId::new(0),
+                    ),
+                    SimOptions {
+                        max_rounds: 1,
+                        ..SimOptions::default()
+                    },
+                )
+                .expect("k ≤ n");
+                sim.run().expect("valid")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_star_pair_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_star_pair_round");
+    for n in [32usize, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulator::new(
+                    dispersion_core::DispersionDynamic::new(),
+                    StarPairAdversary::new(n),
+                    ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+                    dispersion_engine::Configuration::rooted(
+                        n,
+                        n / 2,
+                        dispersion_graph::NodeId::new(0),
+                    ),
+                    SimOptions {
+                        max_rounds: 1,
+                        ..SimOptions::default()
+                    },
+                )
+                .expect("k ≤ n");
+                sim.run().expect("valid")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_trap_searches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_trap_search_round");
+    group.sample_size(10);
+    for k in [5usize, 8, 12] {
+        let n = k + 4;
+        group.bench_with_input(BenchmarkId::new("path_trap", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut sim = Simulator::new(
+                    GreedyLocal::new(),
+                    PathTrapAdversary::new(n),
+                    ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
+                    near_dispersed_config(n, k),
+                    SimOptions {
+                        max_rounds: 5,
+                        ..SimOptions::default()
+                    },
+                )
+                .expect("k ≤ n");
+                sim.run().expect("valid")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("clique_trap", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut sim = Simulator::new(
+                    BlindGlobal::new(),
+                    CliqueTrapAdversary::new(n),
+                    ModelSpec::GLOBAL_BLIND,
+                    near_dispersed_config(n, k),
+                    SimOptions {
+                        max_rounds: 5,
+                        ..SimOptions::default()
+                    },
+                )
+                .expect("k ≤ n");
+                sim.run().expect("valid")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_churn_generation,
+    bench_star_pair_round,
+    bench_trap_searches
+);
+criterion_main!(benches);

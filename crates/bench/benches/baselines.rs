@@ -1,0 +1,72 @@
+//! Algorithm 4 versus the baselines on the settings where both are
+//! defined (static graphs, rooted starts): round counts differ by
+//! Θ(k) vs O(m) vs randomized-cover-time; wall clock follows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersion_core::baselines::{LocalDfs, RandomWalk};
+use dispersion_core::DispersionDynamic;
+use dispersion_engine::adversary::StaticNetwork;
+use dispersion_engine::{
+    Configuration, DispersionAlgorithm, ModelSpec, SimOptions, Simulator,
+};
+use dispersion_graph::{generators, NodeId, PortLabeledGraph};
+
+fn run_to_done<A: DispersionAlgorithm>(
+    alg: A,
+    g: &PortLabeledGraph,
+    model: ModelSpec,
+    k: usize,
+) -> dispersion_engine::SimOutcome {
+    let n = g.node_count();
+    let mut sim = Simulator::new(
+        alg,
+        StaticNetwork::new(g.clone()),
+        model,
+        Configuration::rooted(n, k, NodeId::new(0)),
+        SimOptions {
+            max_rounds: 5_000_000,
+            validate_graphs: false,
+            ..SimOptions::default()
+        },
+    )
+    .expect("k ≤ n");
+    let out = sim.run().expect("valid");
+    assert!(out.dispersed);
+    out
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison_static_rooted");
+    group.sample_size(10);
+    for k in [8usize, 16, 32] {
+        let n = k + k / 2;
+        let g = generators::random_connected(n, 0.15, k as u64).unwrap();
+        group.bench_with_input(BenchmarkId::new("algorithm4", k), &k, |b, &k| {
+            b.iter(|| {
+                run_to_done(
+                    DispersionDynamic::new(),
+                    &g,
+                    ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+                    k,
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("local_dfs", k), &k, |b, &k| {
+            b.iter(|| run_to_done(LocalDfs::new(), &g, ModelSpec::LOCAL_WITH_NEIGHBORHOOD, k));
+        });
+        group.bench_with_input(BenchmarkId::new("random_walk", k), &k, |b, &k| {
+            b.iter(|| {
+                run_to_done(
+                    RandomWalk::new(k as u64),
+                    &g,
+                    ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+                    k,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Per-phase construction costs: Algorithm 1 (components), Algorithm 2
+//! (spanning trees), Algorithm 3 (disjoint paths), on occupied subgraphs
+//! of growing size. These are the in-round temporary computations every
+//! robot performs; the paper charges them to free temporary memory — the
+//! bench shows their wall-clock cost is near-linear in k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersion_core::{component::ConnectedComponent, DisjointPathSet, SpanningTree};
+use dispersion_engine::{build_packets, Configuration, InfoPacket, RobotId};
+use dispersion_graph::generators;
+use std::hint::black_box;
+
+/// A fully-connected occupied round: k robots on k−1 nodes of a random
+/// connected n-node graph, all occupied nodes adjacent enough to form one
+/// component most rounds.
+fn round_packets(k: usize) -> (Vec<InfoPacket>, RobotId) {
+    let n = k + 4;
+    let g = generators::random_connected(n, 0.3, k as u64).unwrap();
+    let cfg = Configuration::from_pairs(
+        n,
+        (1..=k as u32).map(|i| {
+            (
+                RobotId::new(i),
+                dispersion_graph::NodeId::new(i.saturating_sub(2)),
+            )
+        }),
+    );
+    (build_packets(&g, &cfg, true), RobotId::new(1))
+}
+
+fn bench_component(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_component");
+    for k in [16usize, 64, 256] {
+        let (packets, start) = round_packets(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| ConnectedComponent::build(black_box(&packets), start));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spanning_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2_spanning_tree");
+    for k in [16usize, 64, 256] {
+        let (packets, start) = round_packets(k);
+        let comp = ConnectedComponent::build(&packets, start);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| SpanningTree::build(black_box(&comp)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_disjoint_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm3_disjoint_paths");
+    for k in [16usize, 64, 256] {
+        let (packets, start) = round_packets(k);
+        let comp = ConnectedComponent::build(&packets, start);
+        let tree = SpanningTree::build(&comp).expect("multiplicity exists");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| DisjointPathSet::build(black_box(&comp), black_box(&tree)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_packets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_assembly");
+    for k in [16usize, 64, 256] {
+        let n = k + 4;
+        let g = generators::random_connected(n, 0.3, k as u64).unwrap();
+        let cfg = Configuration::rooted(n, k, dispersion_graph::NodeId::new(0));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| build_packets(black_box(&g), black_box(&cfg), true));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_component,
+    bench_spanning_tree,
+    bench_disjoint_paths,
+    bench_packets
+);
+criterion_main!(benches);

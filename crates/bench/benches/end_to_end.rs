@@ -1,0 +1,48 @@
+//! End-to-end dispersion cost as k grows, per dynamic network. The round
+//! count is Θ(k) (Theorem 4), so wall-clock should grow roughly
+//! quadratically in k (k rounds × O(k)-ish per-round work per robot).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersion_bench::run_alg4_rooted;
+use dispersion_engine::adversary::{EdgeChurnNetwork, StarPairAdversary, StaticNetwork};
+use dispersion_graph::generators;
+
+fn bench_static(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispersion_static");
+    group.sample_size(10);
+    for k in [8usize, 32, 128] {
+        let n = k + k / 2;
+        let g = generators::random_connected(n, 0.1, k as u64).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| run_alg4_rooted(StaticNetwork::new(g.clone()), n, k));
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispersion_churn");
+    group.sample_size(10);
+    for k in [8usize, 32, 128] {
+        let n = k + k / 2;
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| run_alg4_rooted(EdgeChurnNetwork::new(n, 0.1, k as u64), n, k));
+        });
+    }
+    group.finish();
+}
+
+fn bench_star_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispersion_star_pair_adversary");
+    group.sample_size(10);
+    for k in [8usize, 32, 128] {
+        let n = k + 6;
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| run_alg4_rooted(StarPairAdversary::new(n), n, k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static, bench_churn, bench_star_pair);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Cost of one full CCM round (all robots: communicate, rebuild the
+//! structures, compute the slide) as k grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersion_core::DispersionDynamic;
+use dispersion_engine::adversary::StaticNetwork;
+use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+use dispersion_graph::{generators, NodeId};
+
+fn bench_single_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_round");
+    group.sample_size(20);
+    for k in [16usize, 64, 256] {
+        let n = k + k / 2;
+        let g = generators::random_connected(n, 0.1, k as u64).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut sim = Simulator::new(
+                    DispersionDynamic::new(),
+                    StaticNetwork::new(g.clone()),
+                    ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+                    Configuration::rooted(n, k, NodeId::new(0)),
+                    SimOptions {
+                        max_rounds: 1,
+                        validate_graphs: false,
+                        ..SimOptions::default()
+                    },
+                )
+                .expect("k ≤ n");
+                sim.run().expect("valid")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_round);
+criterion_main!(benches);

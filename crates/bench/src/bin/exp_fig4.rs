@@ -1,0 +1,91 @@
+//! Figure 4: disjoint root paths and one round of sliding on the worked
+//! example.
+//!
+//! Fig. 4(a) shows the disjoint path sets computed in each spanning tree;
+//! Fig. 4(b) shows the slide: every path node keeps a robot and the
+//! hashed (previously empty) nodes receive one each.
+
+use dispersion_bench::{banner, Table};
+use dispersion_core::{worked_example, DispersionDynamic};
+use dispersion_engine::adversary::StaticNetwork;
+use dispersion_engine::{ModelSpec, SimOptions, Simulator};
+
+fn main() {
+    banner(
+        "F4",
+        "Figure 4 (Section VI worked example)",
+        "disjoint root paths per component; sliding occupies ≥ 1 previously\n\
+         empty node per component while path nodes stay occupied",
+    );
+
+    let ex = worked_example::build();
+
+    println!("Fig. 4(a): disjoint path sets");
+    let mut t = Table::new(["component", "count(root)", "paths kept", "paths (root → leaf)"]);
+    for (label, comp) in [("CG¹ (green)", ex.green()), ("CG² (red)", ex.red())] {
+        let tree = ex.tree_of(&comp);
+        let paths = ex.paths_of(&comp, &tree);
+        paths.check_invariants(&tree);
+        let rendered: Vec<String> = paths
+            .iter()
+            .map(|p| {
+                p.nodes()
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("→")
+            })
+            .collect();
+        t.row([
+            label.to_string(),
+            comp.node(tree.root()).expect("root exists").count.to_string(),
+            paths.len().to_string(),
+            rendered.join("  "),
+        ]);
+    }
+    println!("{t}");
+    println!();
+
+    println!("Fig. 4(b): one round of sliding");
+    let mut sim = Simulator::new(
+        DispersionDynamic::new(),
+        StaticNetwork::new(ex.graph.clone()),
+        ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+        ex.config.clone(),
+        SimOptions {
+            max_rounds: 1,
+            ..SimOptions::default()
+        },
+    )
+    .expect("k ≤ n");
+    let out = sim.run().expect("valid run");
+    let rec = &out.trace.records[0];
+    let mut moved = Vec::new();
+    for (robot, node) in out.final_config.iter() {
+        let before = ex.config.node_of(robot).expect("same fleet");
+        if before != node {
+            moved.push(format!("{robot}: {before}→{node}"));
+        }
+    }
+    println!("  slides: {}", moved.join("  "));
+    println!(
+        "  occupied {} → {}; previously-empty nodes gaining a robot: {}",
+        rec.occupied_before, rec.occupied_after, rec.newly_occupied
+    );
+    assert!(rec.newly_occupied >= 2, "one hashed node per component");
+    // Every node occupied before the slide is still occupied after.
+    for v in ex.config.occupied_nodes() {
+        assert!(
+            out.final_config.count_at(v) >= 1,
+            "path node {v} must stay occupied"
+        );
+    }
+    println!();
+    println!(
+        "result: both components slid one robot per disjoint path; every\n\
+         previously occupied node kept a robot and {} previously empty\n\
+         nodes were settled — the Fig. 4(b) hashed-node guarantee (the\n\
+         heart of Lemma 7's per-round progress).",
+        rec.newly_occupied
+    );
+}

@@ -1,0 +1,109 @@
+//! The Θ(log k) memory claim of Theorems 4 & 5, measured.
+//!
+//! For each k, runs Algorithm 4 to completion and reports the maximum
+//! persistent bits any robot carried between rounds; the series must
+//! track ⌈log₂ k⌉ exactly. Baselines are included for contrast.
+
+use dispersion_bench::{banner, Table};
+use dispersion_core::baselines::{LocalDfs, RandomWalk};
+use dispersion_core::DispersionDynamic;
+use dispersion_engine::adversary::{EdgeChurnNetwork, StaticNetwork};
+use dispersion_engine::{
+    Configuration, DispersionAlgorithm, ModelSpec, RobotId, SimOptions, Simulator,
+};
+use dispersion_graph::{generators, NodeId};
+
+fn measure<A: DispersionAlgorithm>(
+    alg: A,
+    model: ModelSpec,
+    n: usize,
+    k: usize,
+    static_graph: bool,
+) -> (u64, usize) {
+    let out = if static_graph {
+        Simulator::new(
+            alg,
+            StaticNetwork::new(generators::random_connected(n, 0.1, k as u64).unwrap()),
+            model,
+            Configuration::rooted(n, k, NodeId::new(0)),
+            SimOptions {
+                max_rounds: 1_000_000,
+                ..SimOptions::default()
+            },
+        )
+        .expect("k ≤ n")
+        .run()
+        .expect("valid")
+    } else {
+        Simulator::new(
+            alg,
+            EdgeChurnNetwork::new(n, 0.1, k as u64),
+            model,
+            Configuration::rooted(n, k, NodeId::new(0)),
+            SimOptions::default(),
+        )
+        .expect("k ≤ n")
+        .run()
+        .expect("valid")
+    };
+    assert!(out.dispersed);
+    (out.rounds, out.max_memory_bits())
+}
+
+fn main() {
+    banner(
+        "Mem",
+        "the Θ(log k) memory bound of Theorems 4 & 5 (Lemma 8)",
+        "Algorithm 4 stores only the ⌈log k⌉-bit identifier between rounds",
+    );
+
+    let mut t = Table::new([
+        "k",
+        "⌈log₂ k⌉",
+        "alg4 bits (dynamic)",
+        "local-dfs bits (static)",
+        "random-walk bits (static)",
+    ]);
+    for k in [2usize, 4, 8, 16, 32, 64, 128] {
+        let n = k + k / 2 + 2;
+        let expected = RobotId::bits_for_population(k);
+        let (_, alg4_bits) = measure(
+            DispersionDynamic::new(),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            n,
+            k,
+            false,
+        );
+        let (_, dfs_bits) = measure(
+            LocalDfs::new(),
+            ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
+            n,
+            k,
+            true,
+        );
+        let (_, walk_bits) = measure(
+            RandomWalk::new(7),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            n,
+            k,
+            true,
+        );
+        assert_eq!(alg4_bits, expected, "k={k}: Θ(log k) violated");
+        t.row([
+            k.to_string(),
+            expected.to_string(),
+            alg4_bits.to_string(),
+            dfs_bits.to_string(),
+            walk_bits.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!();
+    println!(
+        "result: Algorithm 4's measured memory equals ⌈log₂ k⌉ for every k\n\
+         (the identifier is the *only* persistent state; components, trees\n\
+         and paths live in per-round temporary memory, as the paper's model\n\
+         allows). The DFS baseline carries its stack (O(k log Δ) bits) and\n\
+         the random walk its 64-bit PRNG state."
+    );
+}

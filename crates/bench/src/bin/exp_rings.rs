@@ -1,0 +1,52 @@
+//! Extension experiment: dispersion on dynamic rings — the setting of
+//! the only prior dynamic-graph dispersion work (Agarwalla et al.,
+//! *Deterministic dispersion of mobile robots in dynamic rings*, ICDCN
+//! 2018, cited as \[1\]).
+//!
+//! The paper generalizes from rings to arbitrary dynamic graphs; this
+//! experiment closes the loop by running Algorithm 4 back on rings (full
+//! and one-edge-missing) and confirming the general O(k) bound covers the
+//! special case.
+
+use dispersion_bench::{banner, run_alg4_rooted, Table};
+use dispersion_engine::adversary::DynamicRingNetwork;
+
+fn main() {
+    banner(
+        "Rings",
+        "the dynamic-ring setting of related work [1] (extension)",
+        "Algorithm 4's O(k) bound specializes to dynamic rings",
+    );
+
+    let mut t = Table::new([
+        "variant",
+        "n",
+        "k",
+        "rounds",
+        "rounds/k",
+        "memory bits",
+    ]);
+    for k in [4usize, 8, 16, 32] {
+        let n = k + 3;
+        for (variant, drop_edge) in [("full ring", false), ("one edge missing", true)] {
+            let out = run_alg4_rooted(DynamicRingNetwork::new(n, drop_edge, k as u64), n, k);
+            assert!(out.dispersed);
+            assert!(out.rounds <= k as u64);
+            t.row([
+                variant.to_string(),
+                n.to_string(),
+                k.to_string(),
+                out.rounds.to_string(),
+                format!("{:.2}", out.rounds as f64 / k as f64),
+                out.max_memory_bits().to_string(),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!();
+    println!(
+        "result: rounds ≤ k on every dynamic-ring variant — the paper's\n\
+         arbitrary-graph algorithm subsumes the prior ring-only setting\n\
+         with the same Θ(log k) memory."
+    );
+}

@@ -1,0 +1,64 @@
+//! Extension experiment: the oracle-guided stress adversary.
+//!
+//! `MinProgressSampler` samples candidate topologies each round and
+//! commits the one the move oracle scores worst for the robots — a
+//! *generic* adaptive adversary, unlike the hand-crafted theorem
+//! constructions. Lemma 7 predicts it can never push Algorithm 4 below
+//! one new node per round; the Θ(k) bound must therefore survive any
+//! sampling budget.
+
+use dispersion_bench::{banner, Table};
+use dispersion_core::DispersionDynamic;
+use dispersion_engine::adversary::MinProgressSampler;
+use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+use dispersion_graph::NodeId;
+
+fn main() {
+    banner(
+        "Stress",
+        "Lemma 7 under a generic adaptive adversary (extension)",
+        "no adversary choice of connected topology can stop per-round progress",
+    );
+
+    let (n, k) = (24usize, 16usize);
+    let mut t = Table::new([
+        "candidates/round",
+        "rounds",
+        "rounds/k",
+        "min progress seen",
+        "rounds at minimum",
+    ]);
+    for budget in [1usize, 4, 16, 64] {
+        let mut sim = Simulator::new(
+            DispersionDynamic::new(),
+            MinProgressSampler::new(n, budget, 0.12, 11),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(n, k, NodeId::new(0)),
+            SimOptions::default(),
+        )
+        .expect("k ≤ n");
+        let out = sim.run().expect("valid run");
+        assert!(out.dispersed);
+        assert!(out.rounds <= k as u64, "Θ(k) must survive budget {budget}");
+        let history = sim.network().progress_history();
+        let min_progress = history.iter().copied().min().unwrap_or(0);
+        assert!(min_progress >= 1, "Lemma 7 violated");
+        let at_min = history.iter().filter(|&&p| p == min_progress).count();
+        t.row([
+            budget.to_string(),
+            out.rounds.to_string(),
+            format!("{:.2}", out.rounds as f64 / k as f64),
+            min_progress.to_string(),
+            at_min.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!();
+    println!(
+        "result: as the adversary's per-round sampling budget grows it\n\
+         pins the robots to the Lemma 7 floor (exactly one new node per\n\
+         round) more often, pushing rounds toward k — but never beyond:\n\
+         the guarantee that at least one disjoint root path reaches an\n\
+         empty node holds on every connected graph."
+    );
+}

@@ -1,0 +1,111 @@
+//! The scaling series behind Table I row 3: rounds vs. k per network,
+//! aggregated over seeds (min / mean / max), the way an empirical figure
+//! would present it.
+
+use dispersion_bench::{banner, Table};
+use dispersion_core::DispersionDynamic;
+use dispersion_engine::adversary::{
+    DynamicNetwork, DynamicRingNetwork, EdgeChurnNetwork, StarPairAdversary,
+    StaticNetwork, TIntervalNetwork,
+};
+use dispersion_engine::stats::RunSummary;
+use dispersion_engine::{Configuration, ModelSpec, SimOptions, SimOutcome, Simulator};
+use dispersion_graph::generators;
+
+const SEEDS: u64 = 10;
+
+fn one_run<N: DynamicNetwork>(net: N, n: usize, k: usize, seed: u64) -> SimOutcome {
+    Simulator::new(
+        DispersionDynamic::new(),
+        net,
+        ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+        Configuration::random(n, k, seed, true),
+        SimOptions::default(),
+    )
+    .expect("k ≤ n")
+    .run()
+    .expect("valid run")
+}
+
+fn sweep(make_net: impl Fn(u64) -> Box<dyn DynamicNetwork>, n: usize, k: usize) -> RunSummary {
+    let outcomes: Vec<SimOutcome> = (0..SEEDS)
+        .map(|seed| one_run(make_net(seed), n, k, seed))
+        .collect();
+    RunSummary::collect(&outcomes)
+}
+
+fn main() {
+    banner(
+        "Sweeps",
+        "the rounds-vs-k scaling series of Theorems 4 & 5 (Table I row 3)",
+        "rounds ≤ k for every network, every seed, every k",
+    );
+
+    let mut t = Table::new([
+        "network",
+        "k",
+        "min",
+        "mean",
+        "max",
+        "max/k",
+        "all ≤ k",
+    ]);
+    for k in [8usize, 16, 32, 64] {
+        let n = k + k / 2;
+        let rows: Vec<(&str, RunSummary)> = vec![
+            (
+                "static random",
+                sweep(
+                    |seed| {
+                        Box::new(StaticNetwork::new(
+                            generators::random_connected(n, 0.1, seed).unwrap(),
+                        ))
+                    },
+                    n,
+                    k,
+                ),
+            ),
+            (
+                "edge churn",
+                sweep(|seed| Box::new(EdgeChurnNetwork::new(n, 0.1, seed)), n, k),
+            ),
+            (
+                "dynamic ring",
+                sweep(
+                    |seed| Box::new(DynamicRingNetwork::new(n, true, seed)),
+                    n,
+                    k,
+                ),
+            ),
+            (
+                "T-interval (T=4)",
+                sweep(|seed| Box::new(TIntervalNetwork::new(n, 4, 0.1, seed)), n, k),
+            ),
+            (
+                "star-pair (adaptive)",
+                sweep(|_| Box::new(StarPairAdversary::new(n)), n, k),
+            ),
+        ];
+        for (name, summary) in rows {
+            assert!(summary.all_dispersed, "{name} k={k}");
+            assert!(summary.within(k as u64), "{name} k={k}: O(k) violated");
+            t.row([
+                name.to_string(),
+                k.to_string(),
+                summary.min_rounds.to_string(),
+                format!("{:.1}", summary.mean_rounds),
+                summary.max_rounds.to_string(),
+                format!("{:.2}", summary.max_rounds as f64 / k as f64),
+                "yes".to_string(),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!();
+    println!(
+        "result: across {SEEDS} seeded arbitrary initial configurations per\n\
+         cell, the maximum round count never exceeded k on any network —\n\
+         the O(k) guarantee is not a lucky seed. The adaptive star-pair\n\
+         rows sit closest to the bound, as the tight instance should."
+    );
+}

@@ -1,0 +1,144 @@
+//! Shared harness code for the experiment binaries and criterion benches.
+//!
+//! Every table and figure of the paper has a binary under `src/bin/`
+//! (see `DESIGN.md` §4 for the index); the helpers here run the standard
+//! configurations and render aligned text tables so each binary prints
+//! the same rows/series the paper reports.
+
+use dispersion_core::DispersionDynamic;
+use dispersion_engine::adversary::DynamicNetwork;
+use dispersion_engine::{Configuration, ModelSpec, SimOptions, SimOutcome, Simulator};
+use dispersion_graph::NodeId;
+
+/// Runs Algorithm 4 in its home model (global comm + 1-NK) from a rooted
+/// configuration against the given network.
+///
+/// # Panics
+///
+/// Panics on simulator errors — experiment inputs are all well formed.
+pub fn run_alg4_rooted<N: DynamicNetwork>(net: N, n: usize, k: usize) -> SimOutcome {
+    Simulator::new(
+        DispersionDynamic::new(),
+        net,
+        ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+        Configuration::rooted(n, k, NodeId::new(0)),
+        SimOptions::default(),
+    )
+    .expect("k ≤ n")
+    .run()
+    .expect("experiment inputs are valid")
+}
+
+/// Runs Algorithm 4 from a seeded arbitrary (clustered) configuration.
+///
+/// # Panics
+///
+/// Panics on simulator errors — experiment inputs are all well formed.
+pub fn run_alg4_random<N: DynamicNetwork>(net: N, n: usize, k: usize, seed: u64) -> SimOutcome {
+    Simulator::new(
+        DispersionDynamic::new(),
+        net,
+        ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+        Configuration::random(n, k, seed, true),
+        SimOptions::default(),
+    )
+    .expect("k ≤ n")
+    .run()
+    .expect("experiment inputs are valid")
+}
+
+/// A minimal aligned-text table renderer for experiment output.
+#[derive(Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, paper_artifact: &str, claim: &str) {
+    println!("==================================================================");
+    println!("experiment {id} — reproduces {paper_artifact}");
+    println!("paper claim: {claim}");
+    println!("==================================================================");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dispersion_engine::adversary::StarPairAdversary;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["k", "rounds"]);
+        t.row(["4", "3"]);
+        t.row(["16", "15"]);
+        let s = t.render();
+        assert!(s.contains("k  rounds"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_checks_arity() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn helpers_run() {
+        let out = run_alg4_rooted(StarPairAdversary::new(8), 8, 5);
+        assert!(out.dispersed);
+        let out = run_alg4_random(StarPairAdversary::new(8), 8, 5, 3);
+        assert!(out.dispersed);
+    }
+}

@@ -1,0 +1,535 @@
+//! Hand-rolled argument parsing for the `dispersion` binary.
+
+use std::error::Error;
+use std::fmt;
+
+/// Which dynamic network `run` simulates against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// Fresh random connected graph each round.
+    Churn,
+    /// One random connected graph, fixed.
+    Static,
+    /// Dynamic ring, re-embedded each round.
+    Ring,
+    /// Dynamic ring with one edge missing each round.
+    BrokenRing,
+    /// The Theorem 3 lower-bound adversary.
+    StarPair,
+    /// T-interval connected dynamics (window 4).
+    TInterval,
+    /// Oracle-guided progress-minimizing sampler.
+    MinProgress,
+}
+
+impl NetworkKind {
+    /// Parses a network name.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "churn" => Ok(NetworkKind::Churn),
+            "static" => Ok(NetworkKind::Static),
+            "ring" => Ok(NetworkKind::Ring),
+            "broken-ring" => Ok(NetworkKind::BrokenRing),
+            "star-pair" => Ok(NetworkKind::StarPair),
+            "t-interval" => Ok(NetworkKind::TInterval),
+            "min-progress" => Ok(NetworkKind::MinProgress),
+            other => Err(ParseError::BadValue {
+                flag: "--network".into(),
+                value: other.into(),
+                expected: "churn | static | ring | broken-ring | star-pair | t-interval | min-progress",
+            }),
+        }
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `dispersion run …` — run Algorithm 4.
+    Run {
+        /// Dynamic network to run against.
+        network: NetworkKind,
+        /// Nodes.
+        n: usize,
+        /// Robots.
+        k: usize,
+        /// RNG seed (networks, placement).
+        seed: u64,
+        /// Crash `f` random robots during the run.
+        faults: usize,
+        /// Start from a random (clustered) placement instead of rooted.
+        scattered: bool,
+        /// Print a per-round occupancy view.
+        watch: bool,
+        /// Emit the outcome as a JSON document instead of text.
+        json: bool,
+    },
+    /// `dispersion trap …` — run a Theorem 1/2 impossibility trap.
+    Trap {
+        /// 1 (path trap, local model) or 2 (clique trap, blind model).
+        theorem: u8,
+        /// Robots.
+        k: usize,
+        /// Rounds to hold the trap.
+        rounds: u64,
+    },
+    /// `dispersion lower-bound --k …` — the Theorem 3 star-pair run.
+    LowerBound {
+        /// Robots.
+        k: usize,
+    },
+    /// `dispersion memory --max-k …` — the Θ(log k) sweep.
+    Memory {
+        /// Largest k (powers of two up to this).
+        max_k: usize,
+    },
+    /// `dispersion sweep …` — rounds-vs-k summary over seeds.
+    Sweep {
+        /// Dynamic network to sweep.
+        network: NetworkKind,
+        /// Largest k (powers of two from 4).
+        max_k: usize,
+        /// Seeds per cell.
+        seeds: u64,
+    },
+    /// `dispersion dot …` — export one round's graph as Graphviz DOT.
+    Dot {
+        /// Dynamic network to sample.
+        network: NetworkKind,
+        /// Nodes.
+        n: usize,
+        /// Robots (annotated on the nodes).
+        k: usize,
+        /// Round to sample (the adversaries react to the configuration a
+        /// fresh rooted run would present at round 0).
+        seed: u64,
+    },
+    /// `dispersion help` or `--help`.
+    Help,
+}
+
+/// CLI parse error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown flag for the subcommand.
+    UnknownFlag(String),
+    /// Flag requires a value but none followed.
+    MissingValue(String),
+    /// Value failed to parse.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Semantic violation (e.g. k > n).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingCommand => {
+                write!(f, "missing subcommand (try `dispersion help`)")
+            }
+            ParseError::UnknownCommand(c) => write!(f, "unknown subcommand `{c}`"),
+            ParseError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            ParseError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
+            ParseError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "bad value `{value}` for `{flag}` (expected {expected})"),
+            ParseError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+fn take_value<'a, I: Iterator<Item = &'a str>>(
+    flag: &str,
+    iter: &mut I,
+) -> Result<&'a str, ParseError> {
+    iter.next().ok_or_else(|| ParseError::MissingValue(flag.into()))
+}
+
+fn parse_num<T: std::str::FromStr>(
+    flag: &str,
+    value: &str,
+    expected: &'static str,
+) -> Result<T, ParseError> {
+    value.parse().map_err(|_| ParseError::BadValue {
+        flag: flag.into(),
+        value: value.into(),
+        expected,
+    })
+}
+
+/// Parses the argument list (without the program name).
+pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, ParseError> {
+    let mut iter = args.into_iter();
+    let cmd = iter.next().ok_or(ParseError::MissingCommand)?;
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" => {
+            let mut network = NetworkKind::Churn;
+            let mut n = 20usize;
+            let mut k = 12usize;
+            let mut seed = 7u64;
+            let mut faults = 0usize;
+            let mut scattered = false;
+            let mut watch = false;
+            let mut json = false;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--network" => network = NetworkKind::parse(take_value(flag, &mut iter)?)?,
+                    "--n" => n = parse_num(flag, take_value(flag, &mut iter)?, "a positive integer")?,
+                    "--k" => k = parse_num(flag, take_value(flag, &mut iter)?, "a positive integer")?,
+                    "--seed" => {
+                        seed = parse_num(flag, take_value(flag, &mut iter)?, "an integer seed")?
+                    }
+                    "--faults" => {
+                        faults = parse_num(flag, take_value(flag, &mut iter)?, "a fault count")?
+                    }
+                    "--scattered" => scattered = true,
+                    "--watch" => watch = true,
+                    "--json" => json = true,
+                    other => return Err(ParseError::UnknownFlag(other.into())),
+                }
+            }
+            if k == 0 || n == 0 {
+                return Err(ParseError::Invalid("need n ≥ 1 and k ≥ 1"));
+            }
+            if k > n {
+                return Err(ParseError::Invalid("k must not exceed n"));
+            }
+            if faults > k {
+                return Err(ParseError::Invalid("faults must not exceed k"));
+            }
+            Ok(Command::Run {
+                network,
+                n,
+                k,
+                seed,
+                faults,
+                scattered,
+                watch,
+                json,
+            })
+        }
+        "sweep" => {
+            let mut network = NetworkKind::Churn;
+            let mut max_k = 32usize;
+            let mut seeds = 5u64;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--network" => network = NetworkKind::parse(take_value(flag, &mut iter)?)?,
+                    "--max-k" => {
+                        max_k = parse_num(flag, take_value(flag, &mut iter)?, "a positive integer")?
+                    }
+                    "--seeds" => {
+                        seeds = parse_num(flag, take_value(flag, &mut iter)?, "a seed count")?
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.into())),
+                }
+            }
+            if max_k < 4 || seeds == 0 {
+                return Err(ParseError::Invalid("sweep needs max-k ≥ 4 and seeds ≥ 1"));
+            }
+            Ok(Command::Sweep {
+                network,
+                max_k,
+                seeds,
+            })
+        }
+        "trap" => {
+            let mut theorem = 1u8;
+            let mut k = 6usize;
+            let mut rounds = 500u64;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--theorem" => {
+                        theorem = parse_num(flag, take_value(flag, &mut iter)?, "1 or 2")?
+                    }
+                    "--k" => k = parse_num(flag, take_value(flag, &mut iter)?, "a positive integer")?,
+                    "--rounds" => {
+                        rounds = parse_num(flag, take_value(flag, &mut iter)?, "a round count")?
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.into())),
+                }
+            }
+            match theorem {
+                1 if k >= 5 => {}
+                2 if k >= 3 => {}
+                1 => return Err(ParseError::Invalid("theorem 1 needs k ≥ 5")),
+                2 => return Err(ParseError::Invalid("theorem 2 needs k ≥ 3")),
+                _ => {
+                    return Err(ParseError::BadValue {
+                        flag: "--theorem".into(),
+                        value: theorem.to_string(),
+                        expected: "1 or 2",
+                    })
+                }
+            }
+            Ok(Command::Trap { theorem, k, rounds })
+        }
+        "dot" => {
+            let mut network = NetworkKind::Churn;
+            let mut n = 12usize;
+            let mut k = 8usize;
+            let mut seed = 0u64;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--network" => network = NetworkKind::parse(take_value(flag, &mut iter)?)?,
+                    "--n" => n = parse_num(flag, take_value(flag, &mut iter)?, "a positive integer")?,
+                    "--k" => k = parse_num(flag, take_value(flag, &mut iter)?, "a positive integer")?,
+                    "--seed" => {
+                        seed = parse_num(flag, take_value(flag, &mut iter)?, "an integer seed")?
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.into())),
+                }
+            }
+            if k == 0 || n == 0 || k > n {
+                return Err(ParseError::Invalid("need 1 ≤ k ≤ n"));
+            }
+            Ok(Command::Dot {
+                network,
+                n,
+                k,
+                seed,
+            })
+        }
+        "lower-bound" => {
+            let mut k = 16usize;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--k" => k = parse_num(flag, take_value(flag, &mut iter)?, "a positive integer")?,
+                    other => return Err(ParseError::UnknownFlag(other.into())),
+                }
+            }
+            if k < 2 {
+                return Err(ParseError::Invalid("lower bound needs k ≥ 2"));
+            }
+            Ok(Command::LowerBound { k })
+        }
+        "memory" => {
+            let mut max_k = 128usize;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--max-k" => {
+                        max_k = parse_num(flag, take_value(flag, &mut iter)?, "a positive integer")?
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.into())),
+                }
+            }
+            if max_k < 2 {
+                return Err(ParseError::Invalid("memory sweep needs max-k ≥ 2"));
+            }
+            Ok(Command::Memory { max_k })
+        }
+        other => Err(ParseError::UnknownCommand(other.into())),
+    }
+}
+
+/// The `help` text.
+pub const HELP: &str = "\
+dispersion — mobile-robot dispersion on dynamic graphs (ICDCS 2020 reproduction)
+
+USAGE:
+    dispersion run [--network churn|static|ring|broken-ring|star-pair|t-interval|min-progress]
+                   [--n N] [--k K] [--seed S] [--faults F] [--scattered] [--watch]
+                   [--json]
+    dispersion sweep [--network …] [--max-k K] [--seeds S]
+    dispersion trap --theorem 1|2 [--k K] [--rounds R]
+    dispersion dot [--network …] [--n N] [--k K] [--seed S]
+    dispersion lower-bound [--k K]
+    dispersion memory [--max-k K]
+    dispersion help
+
+SUBCOMMANDS:
+    run          run Algorithm 4 (global comm + 1-neighborhood knowledge)
+    sweep        rounds-vs-k summary table over seeds (min/mean/max)
+    dot          Graphviz DOT of one adversary round (occupancy annotated)
+    trap         run a Theorem 1/2 impossibility trap against its victim
+    lower-bound  run the Theorem 3 star-pair adversary (exactly k-1 rounds)
+    memory       sweep k and report measured persistent bits (= ceil(log2 k))
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_run_defaults() {
+        let cmd = parse(["run"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                network: NetworkKind::Churn,
+                n: 20,
+                k: 12,
+                seed: 7,
+                faults: 0,
+                scattered: false,
+                watch: false,
+                json: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_run_full() {
+        let cmd = parse([
+            "run",
+            "--network",
+            "star-pair",
+            "--n",
+            "30",
+            "--k",
+            "18",
+            "--seed",
+            "42",
+            "--faults",
+            "3",
+            "--scattered",
+            "--watch",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                network: NetworkKind::StarPair,
+                n: 30,
+                k: 18,
+                seed: 42,
+                faults: 3,
+                scattered: true,
+                watch: true,
+                json: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_sweep() {
+        assert_eq!(
+            parse(["sweep", "--network", "ring", "--max-k", "16", "--seeds", "3"]).unwrap(),
+            Command::Sweep {
+                network: NetworkKind::Ring,
+                max_k: 16,
+                seeds: 3,
+            }
+        );
+        assert!(parse(["sweep", "--max-k", "2"]).is_err());
+        assert!(parse(["sweep", "--seeds", "0"]).is_err());
+    }
+
+    #[test]
+    fn parses_all_network_kinds() {
+        for (name, kind) in [
+            ("churn", NetworkKind::Churn),
+            ("static", NetworkKind::Static),
+            ("ring", NetworkKind::Ring),
+            ("broken-ring", NetworkKind::BrokenRing),
+            ("star-pair", NetworkKind::StarPair),
+            ("t-interval", NetworkKind::TInterval),
+            ("min-progress", NetworkKind::MinProgress),
+        ] {
+            assert_eq!(NetworkKind::parse(name).unwrap(), kind);
+        }
+        assert!(NetworkKind::parse("mesh").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_run_args() {
+        assert!(matches!(
+            parse(["run", "--k", "30", "--n", "10"]),
+            Err(ParseError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(["run", "--faults", "99"]),
+            Err(ParseError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(["run", "--k"]),
+            Err(ParseError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse(["run", "--k", "abc"]),
+            Err(ParseError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(["run", "--frobnicate"]),
+            Err(ParseError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn parses_trap() {
+        assert_eq!(
+            parse(["trap", "--theorem", "2", "--k", "4", "--rounds", "100"]).unwrap(),
+            Command::Trap {
+                theorem: 2,
+                k: 4,
+                rounds: 100
+            }
+        );
+        assert!(matches!(
+            parse(["trap", "--theorem", "1", "--k", "3"]),
+            Err(ParseError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(["trap", "--theorem", "3"]),
+            Err(ParseError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn parses_dot() {
+        assert_eq!(
+            parse(["dot", "--network", "star-pair", "--n", "10", "--k", "6"]).unwrap(),
+            Command::Dot {
+                network: NetworkKind::StarPair,
+                n: 10,
+                k: 6,
+                seed: 0,
+            }
+        );
+        assert!(parse(["dot", "--k", "20", "--n", "5"]).is_err());
+    }
+
+    #[test]
+    fn parses_lower_bound_and_memory() {
+        assert_eq!(
+            parse(["lower-bound", "--k", "9"]).unwrap(),
+            Command::LowerBound { k: 9 }
+        );
+        assert!(parse(["lower-bound", "--k", "1"]).is_err());
+        assert_eq!(
+            parse(["memory", "--max-k", "64"]).unwrap(),
+            Command::Memory { max_k: 64 }
+        );
+        assert!(parse(["memory", "--max-k", "1"]).is_err());
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert_eq!(parse(["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(["--help"]).unwrap(), Command::Help);
+        assert_eq!(parse([]).unwrap_err(), ParseError::MissingCommand);
+        assert!(matches!(
+            parse(["frob"]),
+            Err(ParseError::UnknownCommand(_))
+        ));
+        // Errors render.
+        assert!(ParseError::MissingCommand.to_string().contains("help"));
+    }
+}

@@ -1,0 +1,488 @@
+//! Execution of parsed CLI commands. Each command returns its full text
+//! output so `main` stays a thin shell (and tests can assert on output).
+
+use dispersion_core::baselines::{BlindGlobal, GreedyLocal};
+use dispersion_core::{impossibility, lower_bound, DispersionDynamic};
+use dispersion_engine::adversary::{
+    CliqueTrapAdversary, DynamicNetwork, DynamicRingNetwork, EdgeChurnNetwork,
+    MinProgressSampler, PathTrapAdversary, StarPairAdversary, StaticNetwork,
+    TIntervalNetwork,
+};
+use dispersion_engine::{
+    Configuration, CrashPhase, FaultPlan, ModelSpec, RobotId, SimError, SimOptions,
+    Simulator, StepStatus,
+};
+use dispersion_graph::{generators, NodeId};
+
+use crate::args::{Command, NetworkKind, HELP};
+use crate::render;
+
+/// Runs a parsed command, returning its printable output.
+///
+/// # Errors
+///
+/// Propagates simulator errors (they indicate a bug, not user error — all
+/// user errors are caught at parse time).
+pub fn execute(cmd: Command) -> Result<String, SimError> {
+    match cmd {
+        Command::Help => Ok(HELP.to_string()),
+        Command::Run {
+            network,
+            n,
+            k,
+            seed,
+            faults,
+            scattered,
+            watch,
+            json,
+        } => run(network, n, k, seed, faults, scattered, watch, json),
+        Command::Sweep {
+            network,
+            max_k,
+            seeds,
+        } => sweep(network, max_k, seeds),
+        Command::Dot { network, n, k, seed } => dot(network, n, k, seed),
+        Command::Trap { theorem, k, rounds } => trap(theorem, k, rounds),
+        Command::LowerBound { k } => lower(k),
+        Command::Memory { max_k } => memory(max_k),
+    }
+}
+
+fn make_network(kind: NetworkKind, n: usize, seed: u64) -> Box<dyn DynamicNetwork> {
+    match kind {
+        NetworkKind::Churn => Box::new(EdgeChurnNetwork::new(n, 0.12, seed)),
+        NetworkKind::Static => Box::new(StaticNetwork::new(
+            generators::random_connected(n, 0.12, seed).expect("n ≥ 1"),
+        )),
+        NetworkKind::Ring => Box::new(DynamicRingNetwork::new(n.max(3), false, seed)),
+        NetworkKind::BrokenRing => Box::new(DynamicRingNetwork::new(n.max(3), true, seed)),
+        NetworkKind::StarPair => Box::new(StarPairAdversary::new(n)),
+        NetworkKind::TInterval => Box::new(TIntervalNetwork::new(n, 4, 0.1, seed)),
+        NetworkKind::MinProgress => Box::new(MinProgressSampler::new(n, 8, 0.12, seed)),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run(
+    kind: NetworkKind,
+    n: usize,
+    k: usize,
+    seed: u64,
+    faults: usize,
+    scattered: bool,
+    watch: bool,
+    json: bool,
+) -> Result<String, SimError> {
+    let network = make_network(kind, n, seed);
+    let net_name = network.name().to_string();
+    let initial = if scattered {
+        Configuration::random(n, k, seed, true)
+    } else {
+        Configuration::rooted(n, k, NodeId::new(0))
+    };
+    let plan = if faults > 0 {
+        FaultPlan::random(k, faults, (k as u64 / 2).max(1), CrashPhase::BeforeCommunicate, seed)
+    } else {
+        FaultPlan::none()
+    };
+    let mut sim = Simulator::new(
+        DispersionDynamic::new(),
+        network,
+        ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+        initial,
+        SimOptions::default(),
+    )?
+    .with_faults(plan);
+
+    let mut out = String::new();
+    if json {
+        let outcome = sim.run()?;
+        out.push_str(&render::outcome_json(&outcome, &net_name));
+        out.push('\n');
+        return Ok(out);
+    }
+    out.push_str(&format!(
+        "running Algorithm 4: n={n} k={k} network={net_name} seed={seed} faults={faults}\n\n"
+    ));
+    if watch {
+        out.push_str(&format!(
+            "start      [{}]\n",
+            render::occupancy_strip(sim.configuration())
+        ));
+        loop {
+            match sim.step()? {
+                StepStatus::Dispersed => break,
+                StepStatus::Advanced(rec) => {
+                    out.push_str(&render::round_line(&rec, sim.configuration()));
+                    out.push('\n');
+                }
+            }
+            if sim.round() > 10 * k as u64 + 100 {
+                out.push_str("(aborting: round budget exhausted)\n");
+                break;
+            }
+        }
+        let dispersed = sim.configuration().is_dispersed();
+        out.push_str(&format!(
+            "\ndispersed: {dispersed} in {} rounds (bound: k = {k})\n",
+            sim.round()
+        ));
+        out.push_str("final placement:\n");
+        out.push_str(&render::placements(sim.configuration()));
+        out.push('\n');
+    } else {
+        let outcome = sim.run()?;
+        out.push_str(&format!(
+            "dispersed: {} in {} rounds (bound: k = {k}); crashes: {}; memory: {} bits\n",
+            outcome.dispersed,
+            outcome.rounds,
+            outcome.crashes,
+            outcome.max_memory_bits()
+        ));
+        out.push_str("final placement:\n");
+        out.push_str(&render::placements(&outcome.final_config));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn dot(kind: NetworkKind, n: usize, k: usize, seed: u64) -> Result<String, SimError> {
+    // Sample the graph an adversary would present to a rooted round-0
+    // configuration, and annotate occupancy.
+    let mut network = make_network(kind, n, seed);
+    let config = Configuration::rooted(n, k, NodeId::new(0));
+    // A stay-put oracle: adaptive adversaries need *some* move prediction;
+    // for a visual sample the identity prediction is fine.
+    struct StayOracle<'a> {
+        config: &'a Configuration,
+    }
+    impl dispersion_engine::MoveOracle for StayOracle<'_> {
+        fn moves_on(
+            &self,
+            _g: &dispersion_graph::PortLabeledGraph,
+        ) -> Vec<dispersion_engine::ResolvedMove> {
+            self.config
+                .iter()
+                .map(|(robot, from)| dispersion_engine::ResolvedMove {
+                    robot,
+                    from,
+                    action: dispersion_engine::Action::Stay,
+                    to: from,
+                })
+                .collect()
+        }
+        fn configuration(&self) -> &Configuration {
+            self.config
+        }
+    }
+    let oracle = StayOracle { config: &config };
+    let g = network.graph_for_round(0, &config, &oracle);
+    Ok(dispersion_graph::dot::to_dot(&g, &|v| {
+        let robots = config.robots_at(v);
+        if robots.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "robots: {}",
+                robots
+                    .iter()
+                    .map(|r| r.get().to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        }
+    }))
+}
+
+fn sweep(kind: NetworkKind, max_k: usize, seeds: u64) -> Result<String, SimError> {
+    use dispersion_engine::stats::RunSummary;
+    let mut out = String::from("   k     n  min  mean   max  all ≤ k\n");
+    let mut k = 4usize;
+    while k <= max_k {
+        let n = k + k / 2;
+        let mut outcomes = Vec::new();
+        for seed in 0..seeds {
+            let mut sim = Simulator::new(
+                DispersionDynamic::new(),
+                make_network(kind, n, seed),
+                ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+                Configuration::random(n, k, seed, true),
+                SimOptions::default(),
+            )?;
+            outcomes.push(sim.run()?);
+        }
+        let summary = RunSummary::collect(&outcomes);
+        out.push_str(&format!(
+            "{:>4}  {:>4}  {:>3}  {:>4.1}  {:>4}  {}\n",
+            k,
+            n,
+            summary.min_rounds,
+            summary.mean_rounds,
+            summary.max_rounds,
+            summary.all_dispersed && summary.within(k as u64)
+        ));
+        k *= 2;
+    }
+    Ok(out)
+}
+
+fn trap(theorem: u8, k: usize, rounds: u64) -> Result<String, SimError> {
+    let n = k + 5;
+    let mut out = String::new();
+    match theorem {
+        1 => {
+            let mut sim = Simulator::new(
+                GreedyLocal::new(),
+                PathTrapAdversary::new(n),
+                ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
+                impossibility::near_dispersed_config(n, k),
+                SimOptions {
+                    max_rounds: rounds,
+                    ..SimOptions::default()
+                },
+            )?;
+            let outcome = sim.run()?;
+            out.push_str(&format!(
+                "Theorem 1 trap (local comm + 1-NK), k={k}, {rounds} rounds:\n\
+                 dispersed: {} | adversary misses: {} | occupied ≤ {}\n",
+                outcome.dispersed,
+                sim.network().trap_misses(),
+                k - 1
+            ));
+        }
+        2 => {
+            let mut sim = Simulator::new(
+                BlindGlobal::new(),
+                CliqueTrapAdversary::new(n),
+                ModelSpec::GLOBAL_BLIND,
+                impossibility::near_dispersed_config(n, k),
+                SimOptions {
+                    max_rounds: rounds,
+                    ..SimOptions::default()
+                },
+            )?;
+            let outcome = sim.run()?;
+            let new_nodes: usize = outcome
+                .trace
+                .records
+                .iter()
+                .map(|r| r.newly_occupied)
+                .sum();
+            out.push_str(&format!(
+                "Theorem 2 trap (global comm, no 1-NK), k={k}, {rounds} rounds:\n\
+                 dispersed: {} | new nodes ever: {new_nodes} | adversary misses: {}\n",
+                outcome.dispersed,
+                sim.network().trap_misses(),
+            ));
+        }
+        _ => unreachable!("parser restricts to 1 or 2"),
+    }
+    Ok(out)
+}
+
+fn lower(k: usize) -> Result<String, SimError> {
+    let report = lower_bound::run_lower_bound(k + 6, k)?;
+    Ok(format!(
+        "Theorem 3 star-pair adversary, k={k} (n={}):\n\
+         rounds: {} | floor k−1: {} | max new nodes/round: {} | dynamic diameter: {} | tight: {}\n",
+        report.n,
+        report.rounds,
+        report.floor,
+        report.max_new_per_round,
+        report.dynamic_diameter,
+        report.is_tight()
+    ))
+}
+
+fn memory(max_k: usize) -> Result<String, SimError> {
+    let mut out = String::from("   k  ceil(log2 k)  measured bits\n");
+    let mut k = 2usize;
+    while k <= max_k {
+        let n = k + k / 2 + 2;
+        let mut sim = Simulator::new(
+            DispersionDynamic::new(),
+            EdgeChurnNetwork::new(n, 0.1, k as u64),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(n, k, NodeId::new(0)),
+            SimOptions::default(),
+        )?;
+        let outcome = sim.run()?;
+        out.push_str(&format!(
+            "{:>4}  {:>12}  {:>13}\n",
+            k,
+            RobotId::bits_for_population(k),
+            outcome.max_memory_bits()
+        ));
+        k *= 2;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_prints_usage() {
+        let out = execute(Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("lower-bound"));
+    }
+
+    #[test]
+    fn run_command_reports_dispersion() {
+        let out = execute(Command::Run {
+            network: NetworkKind::Churn,
+            n: 12,
+            k: 8,
+            seed: 3,
+            faults: 0,
+            scattered: false,
+            watch: false,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("dispersed: true"), "{out}");
+        assert!(out.contains("final placement"));
+    }
+
+    #[test]
+    fn run_json_emits_document() {
+        let out = execute(Command::Run {
+            network: NetworkKind::StarPair,
+            n: 10,
+            k: 6,
+            seed: 1,
+            faults: 0,
+            scattered: false,
+            watch: false,
+            json: true,
+        })
+        .unwrap();
+        assert!(out.trim_end().starts_with('{'), "{out}");
+        assert!(out.contains("\"dispersed\":true"), "{out}");
+        assert!(out.contains("\"rounds\":5"), "{out}");
+    }
+
+    #[test]
+    fn sweep_command_summarizes() {
+        let out = execute(Command::Sweep {
+            network: NetworkKind::Churn,
+            max_k: 8,
+            seeds: 3,
+        })
+        .unwrap();
+        assert!(out.contains("mean"), "{out}");
+        assert!(out.contains("true"), "{out}");
+    }
+
+    #[test]
+    fn run_watch_streams_rounds() {
+        let out = execute(Command::Run {
+            network: NetworkKind::StarPair,
+            n: 10,
+            k: 6,
+            seed: 1,
+            faults: 0,
+            scattered: false,
+            watch: true,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("round    0"), "{out}");
+        assert!(out.contains("dispersed: true in 5 rounds"), "{out}");
+    }
+
+    #[test]
+    fn run_with_faults() {
+        let out = execute(Command::Run {
+            network: NetworkKind::Churn,
+            n: 14,
+            k: 10,
+            seed: 5,
+            faults: 3,
+            scattered: true,
+            watch: false,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("dispersed: true"), "{out}");
+        // Crashes scheduled after dispersion never fire; some prefix does.
+        assert!(out.contains("crashes:"), "{out}");
+    }
+
+    #[test]
+    fn every_network_kind_runs() {
+        for kind in [
+            NetworkKind::Churn,
+            NetworkKind::Static,
+            NetworkKind::Ring,
+            NetworkKind::BrokenRing,
+            NetworkKind::StarPair,
+            NetworkKind::TInterval,
+            NetworkKind::MinProgress,
+        ] {
+            let out = execute(Command::Run {
+                network: kind,
+                n: 10,
+                k: 6,
+                seed: 2,
+                faults: 0,
+                scattered: false,
+                watch: false,
+                json: false,
+            })
+            .unwrap();
+            assert!(out.contains("dispersed: true"), "{kind:?}: {out}");
+        }
+    }
+
+    #[test]
+    fn dot_command_emits_graphviz() {
+        let out = execute(Command::Dot {
+            network: NetworkKind::StarPair,
+            n: 8,
+            k: 5,
+            seed: 0,
+        })
+        .unwrap();
+        assert!(out.starts_with("graph G {"), "{out}");
+        assert!(out.contains("robots: 1,2,3,4,5"), "{out}");
+        assert!(out.contains(" -- "), "{out}");
+    }
+
+    #[test]
+    fn trap_commands_hold() {
+        let t1 = execute(Command::Trap {
+            theorem: 1,
+            k: 5,
+            rounds: 50,
+        })
+        .unwrap();
+        assert!(t1.contains("dispersed: false"), "{t1}");
+        let t2 = execute(Command::Trap {
+            theorem: 2,
+            k: 4,
+            rounds: 50,
+        })
+        .unwrap();
+        assert!(t2.contains("dispersed: false"), "{t2}");
+        assert!(t2.contains("new nodes ever: 0"), "{t2}");
+    }
+
+    #[test]
+    fn lower_bound_command_is_tight() {
+        let out = execute(Command::LowerBound { k: 9 }).unwrap();
+        assert!(out.contains("rounds: 8"), "{out}");
+        assert!(out.contains("tight: true"), "{out}");
+    }
+
+    #[test]
+    fn memory_command_matches_log() {
+        let out = execute(Command::Memory { max_k: 16 }).unwrap();
+        for line in out.lines().skip(1) {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(cols[1], cols[2], "expected == measured: {line}");
+        }
+    }
+}

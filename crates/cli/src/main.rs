@@ -1,0 +1,28 @@
+//! The `dispersion` command-line tool.
+
+use std::process::ExitCode;
+
+use dispersion_cli::{args, commands};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match args::parse(argv.iter().map(String::as_str)) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", args::HELP);
+            return ExitCode::from(2);
+        }
+    };
+    match commands::execute(cmd) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("simulation error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

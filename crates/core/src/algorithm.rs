@@ -1,0 +1,392 @@
+//! Algorithm 4: `Dispersion_Dynamic` — the paper's main contribution.
+//!
+//! Every round, every robot: broadcasts/receives the information packets
+//! (global communication), rebuilds its connected component (Algorithm 1),
+//! the component spanning tree (Algorithm 2) and the disjoint root paths
+//! (Algorithm 3), and slides along the path it belongs to. All structures
+//! are recomputed from scratch in temporary memory — the only state a
+//! robot carries between rounds is its `⌈log k⌉`-bit identifier, giving
+//! the `Θ(log k)` memory bound of Theorem 4.
+
+use dispersion_engine::{
+    Action, DispersionAlgorithm, MemoryFootprint, RobotId, RobotView,
+};
+
+use crate::component::ConnectedComponent;
+use crate::paths::DisjointPathSet;
+use crate::sliding::{self, SlidingPolicy};
+use crate::spanning_tree::SpanningTree;
+
+/// Persistent memory of an Algorithm 4 robot: nothing beyond the robot's
+/// own identifier. (The struct stores the population size only to report
+/// the identifier's width; `k` itself is model knowledge — IDs are drawn
+/// from `[1, k]` by assumption.)
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DynamicMemory {
+    k: usize,
+}
+
+impl MemoryFootprint for DynamicMemory {
+    fn persistent_bits(&self) -> usize {
+        RobotId::bits_for_population(self.k)
+    }
+}
+
+/// **Algorithm 4**: dispersion on 1-interval connected dynamic graphs in
+/// `Θ(k)` rounds with `Θ(log k)` bits per robot, under global
+/// communication with 1-neighborhood knowledge (Theorem 4).
+///
+/// # Example
+///
+/// ```
+/// use dispersion_core::DispersionDynamic;
+/// use dispersion_engine::adversary::StarPairAdversary;
+/// use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+/// use dispersion_graph::NodeId;
+///
+/// # fn main() -> Result<(), dispersion_engine::SimError> {
+/// // Even against the Theorem 3 lower-bound adversary, k robots disperse
+/// // in exactly k − 1 rounds from a rooted configuration.
+/// let (n, k) = (12, 8);
+/// let outcome = Simulator::new(
+///     DispersionDynamic::new(),
+///     StarPairAdversary::new(n),
+///     ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+///     Configuration::rooted(n, k, NodeId::new(0)),
+///     SimOptions::default(),
+/// )?
+/// .run()?;
+/// assert!(outcome.dispersed);
+/// assert_eq!(outcome.rounds, (k - 1) as u64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DispersionDynamic {
+    policy: SlidingPolicy,
+}
+
+impl DispersionDynamic {
+    /// Creates the algorithm with the paper's tie-break policy.
+    pub fn new() -> Self {
+        DispersionDynamic::default()
+    }
+
+    /// Creates the algorithm with an explicit [`SlidingPolicy`] (used by
+    /// the ablation benches; every policy preserves the Θ(k)/Θ(log k)
+    /// bounds).
+    pub fn with_policy(policy: SlidingPolicy) -> Self {
+        DispersionDynamic { policy }
+    }
+
+    /// The active tie-break policy.
+    pub fn policy(&self) -> SlidingPolicy {
+        self.policy
+    }
+}
+
+impl DispersionAlgorithm for DispersionDynamic {
+    type Memory = DynamicMemory;
+
+    fn name(&self) -> &str {
+        "dispersion-dynamic (algorithm 4)"
+    }
+
+    fn init(&self, _me: RobotId, k: usize) -> DynamicMemory {
+        DynamicMemory { k }
+    }
+
+    fn step(&self, view: &RobotView, memory: &DynamicMemory) -> (Action, DynamicMemory) {
+        // Termination detection (global communication): no multiplicity
+        // node anywhere means dispersion is achieved.
+        if !view.packets.iter().any(|p| p.count >= 2) {
+            return (Action::Stay, memory.clone());
+        }
+        let my_node = view.colocated[0];
+        let component = ConnectedComponent::build(&view.packets, my_node);
+        // A component without a multiplicity node builds no tree and its
+        // robots hold still this round.
+        let tree = if self.policy.bfs_tree {
+            SpanningTree::build_bfs(&component)
+        } else {
+            SpanningTree::build(&component)
+        };
+        let Some(tree) = tree else {
+            return (Action::Stay, memory.clone());
+        };
+        let paths = DisjointPathSet::build(&component, &tree);
+        (
+            sliding::decide_with_policy(view, &component, &tree, &paths, self.policy),
+            memory.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dispersion_engine::adversary::{
+        EdgeChurnNetwork, StarPairAdversary, StaticNetwork, TIntervalNetwork,
+    };
+    use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+    use dispersion_graph::{generators, NodeId};
+
+    fn run<N: dispersion_engine::adversary::DynamicNetwork>(
+        net: N,
+        cfg: Configuration,
+    ) -> dispersion_engine::SimOutcome {
+        Simulator::new(
+            DispersionDynamic::new(),
+            net,
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            cfg,
+            SimOptions::default(),
+        )
+        .unwrap()
+        .run()
+        .unwrap()
+    }
+
+    #[test]
+    fn every_policy_variant_preserves_the_bounds() {
+        use crate::sliding::{LeafPortRule, MoverRule};
+        let policies = [
+            SlidingPolicy::default(),
+            SlidingPolicy {
+                mover: MoverRule::SmallestNonAnchor,
+                ..SlidingPolicy::default()
+            },
+            SlidingPolicy {
+                leaf_port: LeafPortRule::LargestEmpty,
+                ..SlidingPolicy::default()
+            },
+            SlidingPolicy {
+                single_path: true,
+                ..SlidingPolicy::default()
+            },
+            SlidingPolicy {
+                mover: MoverRule::SmallestNonAnchor,
+                leaf_port: LeafPortRule::LargestEmpty,
+                single_path: true,
+                bfs_tree: false,
+            },
+            SlidingPolicy {
+                bfs_tree: true,
+                ..SlidingPolicy::default()
+            },
+        ];
+        for (i, policy) in policies.into_iter().enumerate() {
+            for seed in 0..3u64 {
+                let out = Simulator::new(
+                    DispersionDynamic::with_policy(policy),
+                    EdgeChurnNetwork::new(18, 0.15, seed),
+                    ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+                    Configuration::random(18, 12, seed, true),
+                    SimOptions::default(),
+                )
+                .unwrap()
+                .run()
+                .unwrap();
+                assert!(out.dispersed, "policy {i} seed {seed}");
+                assert!(
+                    out.rounds <= 12,
+                    "policy {i} seed {seed}: O(k) violated ({} rounds)",
+                    out.rounds
+                );
+                assert!(out.trace.every_round_made_progress(), "policy {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_path_policy_is_slower_on_branchy_instances() {
+        // A spider: center (6 robots) with 5 occupied arms, each arm
+        // bordering its own empty tip. The default policy slides one
+        // robot down every arm at once (5 disjoint paths); the
+        // single-path ablation settles one tip per round.
+        let mut b = dispersion_graph::GraphBuilder::new(11);
+        for arm in 0..5u32 {
+            b.add_edge(NodeId::new(0), NodeId::new(1 + arm)).unwrap();
+            b.add_edge(NodeId::new(1 + arm), NodeId::new(6 + arm)).unwrap();
+        }
+        let g = b.build().unwrap();
+        let cfg = Configuration::from_pairs(
+            11,
+            (1..=11u32).map(|i| {
+                (
+                    dispersion_engine::RobotId::new(i),
+                    NodeId::new(i.saturating_sub(6)),
+                )
+            }),
+        );
+        let multi = Simulator::new(
+            DispersionDynamic::new(),
+            StaticNetwork::new(g.clone()),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            cfg.clone(),
+            SimOptions::default(),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let single = Simulator::new(
+            DispersionDynamic::with_policy(SlidingPolicy {
+                single_path: true,
+                ..SlidingPolicy::default()
+            }),
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            cfg,
+            SimOptions::default(),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(multi.dispersed && single.dispersed);
+        assert_eq!(multi.rounds, 1, "five disjoint paths fire at once");
+        assert_eq!(single.rounds, 5, "one tip settles per round");
+    }
+
+    #[test]
+    fn policy_accessor_roundtrips() {
+        let p = SlidingPolicy {
+            single_path: true,
+            ..SlidingPolicy::default()
+        };
+        assert_eq!(DispersionDynamic::with_policy(p).policy(), p);
+        assert_eq!(DispersionDynamic::new().policy(), SlidingPolicy::default());
+    }
+
+    #[test]
+    fn disperses_rooted_on_static_path() {
+        let g = generators::path(10).unwrap();
+        let out = run(StaticNetwork::new(g), Configuration::rooted(10, 6, NodeId::new(4)));
+        assert!(out.dispersed);
+        assert!(out.rounds <= 6, "O(k) bound: got {}", out.rounds);
+    }
+
+    #[test]
+    fn disperses_rooted_on_static_cycle() {
+        let g = generators::cycle(9).unwrap();
+        let out = run(StaticNetwork::new(g), Configuration::rooted(9, 9, NodeId::new(0)));
+        assert!(out.dispersed);
+        assert!(out.rounds <= 9);
+    }
+
+    #[test]
+    fn disperses_under_churn() {
+        for seed in 0..5 {
+            let out = run(
+                EdgeChurnNetwork::new(16, 0.2, seed),
+                Configuration::random(16, 10, seed, true),
+            );
+            assert!(out.dispersed, "seed {seed} failed");
+            assert!(out.rounds <= 10, "seed {seed}: {} rounds", out.rounds);
+        }
+    }
+
+    #[test]
+    fn exact_k_minus_one_against_star_pair() {
+        for k in [2usize, 4, 7, 12] {
+            let n = k + 3;
+            let out = run(
+                StarPairAdversary::new(n),
+                Configuration::rooted(n, k, NodeId::new(0)),
+            );
+            assert!(out.dispersed);
+            assert_eq!(out.rounds, (k - 1) as u64, "k={k}");
+        }
+    }
+
+    #[test]
+    fn progress_every_round_lemma7() {
+        let out = run(
+            StarPairAdversary::new(15),
+            Configuration::rooted(15, 10, NodeId::new(0)),
+        );
+        assert!(out.trace.every_round_made_progress());
+        assert!(out.trace.occupied_monotone());
+    }
+
+    #[test]
+    fn memory_is_log_k_bits() {
+        let out = run(
+            EdgeChurnNetwork::new(40, 0.1, 3),
+            Configuration::rooted(40, 33, NodeId::new(0)),
+        );
+        assert!(out.dispersed);
+        // ⌈log₂ 33⌉ = 6.
+        assert_eq!(out.max_memory_bits(), 6);
+    }
+
+    #[test]
+    fn k_equals_n_fills_the_graph() {
+        let out = run(
+            EdgeChurnNetwork::new(12, 0.25, 9),
+            Configuration::rooted(12, 12, NodeId::new(5)),
+        );
+        assert!(out.dispersed);
+        assert_eq!(out.final_config.occupied_count(), 12);
+    }
+
+    #[test]
+    fn single_robot_trivially_dispersed() {
+        let g = generators::path(3).unwrap();
+        let out = run(StaticNetwork::new(g), Configuration::rooted(3, 1, NodeId::new(1)));
+        assert!(out.dispersed);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn two_robots_one_round() {
+        let g = generators::path(4).unwrap();
+        let out = run(StaticNetwork::new(g), Configuration::rooted(4, 2, NodeId::new(1)));
+        assert!(out.dispersed);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn arbitrary_multicluster_start() {
+        // Several multiplicity clusters at once.
+        let cfg = Configuration::from_pairs(
+            20,
+            (1..=14u32).map(|i| {
+                (
+                    RobotId::new(i),
+                    NodeId::new(match i {
+                        1..=4 => 0,
+                        5..=8 => 7,
+                        9..=11 => 13,
+                        _ => 19 - (i - 12),
+                    }),
+                )
+            }),
+        );
+        let out = run(EdgeChurnNetwork::new(20, 0.15, 11), cfg);
+        assert!(out.dispersed);
+        assert!(out.rounds <= 14);
+    }
+
+    #[test]
+    fn t_interval_dynamics_also_fine() {
+        let out = run(
+            TIntervalNetwork::new(14, 4, 0.1, 2),
+            Configuration::rooted(14, 9, NodeId::new(0)),
+        );
+        assert!(out.dispersed);
+        assert!(out.rounds <= 9);
+    }
+
+    #[test]
+    fn settles_and_stays_settled() {
+        // After dispersion the algorithm holds still: re-run one more
+        // round worth of steps by checking the final config is stable
+        // under a fresh simulation seeded with it.
+        let g = generators::cycle(8).unwrap();
+        let out = run(StaticNetwork::new(g.clone()), Configuration::rooted(8, 5, NodeId::new(0)));
+        assert!(out.dispersed);
+        let again = run(StaticNetwork::new(g), out.final_config.clone());
+        assert_eq!(again.rounds, 0);
+        assert_eq!(again.final_config, out.final_config);
+    }
+}

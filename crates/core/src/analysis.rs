@@ -1,0 +1,106 @@
+//! Lemma-level executable checks over simulation outcomes.
+//!
+//! The paper's correctness argument decomposes into lemmas; this module
+//! phrases each as a predicate over an [`SimOutcome`] (or its trace) so
+//! the test suite and the experiment harness can assert them wholesale.
+
+use dispersion_engine::SimOutcome;
+
+/// Report of one audited run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunAudit {
+    /// Dispersion reached (Lemma 6 / Definition 1).
+    pub dispersed: bool,
+    /// Rounds used.
+    pub rounds: u64,
+    /// Lemma 7: every executed round occupied at least one
+    /// never-before-occupied node.
+    pub progress_every_round: bool,
+    /// Lemma 7 (second half): the occupied-node count never shrank, up to
+    /// crashes.
+    pub occupied_monotone: bool,
+    /// Theorem 4 runtime: `rounds ≤ k` (the constant in the paper's O(k)
+    /// is 1: one new node per round suffices).
+    pub within_k_rounds: bool,
+    /// Lemma 8 / Theorem 4 memory: max persistent bits.
+    pub max_memory_bits: usize,
+}
+
+/// Audits a fault-free Algorithm 4 run against Lemmas 6–8.
+pub fn audit(outcome: &SimOutcome) -> RunAudit {
+    RunAudit {
+        dispersed: outcome.dispersed,
+        rounds: outcome.rounds,
+        progress_every_round: outcome.trace.every_round_made_progress(),
+        occupied_monotone: outcome.trace.occupied_monotone(),
+        within_k_rounds: outcome.rounds <= outcome.k as u64,
+        max_memory_bits: outcome.max_memory_bits(),
+    }
+}
+
+impl RunAudit {
+    /// Whether every fault-free Algorithm 4 guarantee held.
+    pub fn all_good(&self) -> bool {
+        self.dispersed
+            && self.progress_every_round
+            && self.occupied_monotone
+            && self.within_k_rounds
+    }
+}
+
+/// The Lemma 8 / Theorem 4 memory bound: `Θ(log k)` bits. Checks the
+/// measured maximum equals `⌈log₂ k⌉` exactly (our implementation stores
+/// precisely the identifier).
+pub fn memory_matches_log_k(outcome: &SimOutcome) -> bool {
+    outcome.max_memory_bits() == dispersion_engine::RobotId::bits_for_population(outcome.k)
+}
+
+/// The Theorem 5 runtime shape: `rounds ≤ k − f` (plus a grace constant
+/// for the rounds in which crashes strike before any progress is
+/// possible). The paper's bound is asymptotic; we check the natural
+/// concrete form `rounds ≤ k − f + slack`.
+pub fn within_k_minus_f(outcome: &SimOutcome, slack: u64) -> bool {
+    let bound = (outcome.k - outcome.crashes) as u64 + slack;
+    outcome.rounds <= bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DispersionDynamic;
+    use dispersion_engine::adversary::StarPairAdversary;
+    use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+    use dispersion_graph::NodeId;
+
+    fn star_pair_run(n: usize, k: usize) -> SimOutcome {
+        Simulator::new(
+            DispersionDynamic::new(),
+            StarPairAdversary::new(n),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(n, k, NodeId::new(0)),
+            SimOptions::default(),
+        )
+        .unwrap()
+        .run()
+        .unwrap()
+    }
+
+    #[test]
+    fn audit_passes_on_algorithm4() {
+        let out = star_pair_run(12, 8);
+        let audit = audit(&out);
+        assert!(audit.all_good());
+        assert_eq!(audit.rounds, 7);
+        assert_eq!(audit.max_memory_bits, 3);
+        assert!(memory_matches_log_k(&out));
+        assert!(within_k_minus_f(&out, 0));
+    }
+
+    #[test]
+    fn audit_detects_failure() {
+        let out = star_pair_run(12, 8);
+        let mut bad = audit(&out);
+        bad.dispersed = false;
+        assert!(!bad.all_good());
+    }
+}

@@ -1,0 +1,28 @@
+//! Baseline and victim algorithms.
+//!
+//! * [`GreedyLocal`] — a natural deterministic algorithm for the **local**
+//!   model with 1-neighborhood knowledge: extra robots fan out into empty
+//!   neighbors. Disperses fine on many static graphs; Theorem 1's
+//!   path-trap adversary defeats it on dynamic graphs (as it must defeat
+//!   *every* deterministic local algorithm).
+//! * [`BlindGlobal`] — a deterministic algorithm for the **global, no
+//!   1-neighborhood** model: extra robots rotate through ports over time.
+//!   Theorem 2's clique-trap adversary holds it at zero progress forever.
+//! * [`RandomWalk`] — the randomized dispersion baseline in the spirit of
+//!   Molla & Moses Jr. \[29\]: the smallest robot on a node anchors it,
+//!   everyone else steps through a uniformly random port.
+//! * [`LocalDfs`] — DFS-based dispersion for **static** graphs from
+//!   **rooted** configurations in the local model (the classic
+//!   Augustine–Moses Jr. / Kshemkalyani–Ali approach): the group walks a
+//!   DFS, settling its smallest member on every fresh node, with
+//!   `O(k log Δ)` bits carried by the traveling group.
+
+mod blind_global;
+mod greedy_local;
+mod local_dfs;
+mod random_walk;
+
+pub use blind_global::BlindGlobal;
+pub use greedy_local::GreedyLocal;
+pub use local_dfs::{DfsMemory, LocalDfs};
+pub use random_walk::{RandomWalk, WalkMemory};

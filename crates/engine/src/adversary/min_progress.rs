@@ -1,0 +1,131 @@
+//! A generic adaptive adversary: sample candidate topologies, keep the
+//! one the move oracle scores worst for the robots.
+//!
+//! The trap adversaries of Theorems 1 and 2 search hand-crafted families;
+//! this one searches a *generic* family (seeded random connected graphs
+//! with random port labels) and greedily minimizes the number of newly
+//! occupied nodes. Against Algorithm 4 it cannot push progress below one
+//! new node per round (Lemma 7 holds for every connected graph), which
+//! makes it a useful stress test: the Θ(k) bound must survive an
+//! adversary that actively optimizes against the algorithm.
+
+use dispersion_graph::{generators, relabel, PortLabeledGraph};
+
+use crate::adversary::DynamicNetwork;
+use crate::{Configuration, MoveOracle};
+
+/// Oracle-guided candidate sampler minimizing per-round progress.
+#[derive(Clone, Debug)]
+pub struct MinProgressSampler {
+    n: usize,
+    candidates_per_round: usize,
+    extra_edge_prob: f64,
+    seed: u64,
+    /// Progress the committed graph allowed, per round (for reporting).
+    progress_history: Vec<usize>,
+}
+
+impl MinProgressSampler {
+    /// Sampler over `n` nodes trying `candidates_per_round` seeded
+    /// candidates each round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, no candidates are allowed, or the probability
+    /// is out of range.
+    pub fn new(n: usize, candidates_per_round: usize, extra_edge_prob: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(candidates_per_round > 0, "need at least one candidate");
+        assert!(
+            (0.0..=1.0).contains(&extra_edge_prob),
+            "probability must be in [0, 1]"
+        );
+        MinProgressSampler {
+            n,
+            candidates_per_round,
+            extra_edge_prob,
+            seed,
+            progress_history: Vec::new(),
+        }
+    }
+
+    /// Progress (newly occupied nodes) the committed graph permitted in
+    /// each past round — Lemma 7 predicts every entry ≥ 1 against
+    /// Algorithm 4 whenever a multiplicity remained.
+    pub fn progress_history(&self) -> &[usize] {
+        &self.progress_history
+    }
+
+    fn candidate(&self, round: u64, index: usize) -> PortLabeledGraph {
+        let s = self
+            .seed
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(round.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(index as u64);
+        let g = generators::random_connected(self.n, self.extra_edge_prob, s).expect("n > 0");
+        relabel::random_relabel(&g, s ^ 0x00ff_00ff)
+    }
+}
+
+impl DynamicNetwork for MinProgressSampler {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn graph_for_round(
+        &mut self,
+        round: u64,
+        _config: &Configuration,
+        oracle: &dyn MoveOracle,
+    ) -> PortLabeledGraph {
+        let mut best: Option<(usize, PortLabeledGraph)> = None;
+        for i in 0..self.candidates_per_round {
+            let g = self.candidate(round, i);
+            let progress = oracle.progress_on(&g);
+            let better = best.as_ref().is_none_or(|(p, _)| progress < *p);
+            if better {
+                let stop = progress == 0;
+                best = Some((progress, g));
+                if stop {
+                    break;
+                }
+            }
+        }
+        let (progress, g) = best.expect("at least one candidate");
+        self.progress_history.push(progress);
+        g
+    }
+
+    fn name(&self) -> &str {
+        "min-progress sampler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::tests_support::NullOracle;
+    use dispersion_graph::connectivity::is_connected;
+    use dispersion_graph::NodeId;
+
+    #[test]
+    fn commits_valid_connected_graphs() {
+        let mut adv = MinProgressSampler::new(12, 8, 0.1, 3);
+        let cfg = Configuration::rooted(12, 4, NodeId::new(0));
+        let oracle = NullOracle { config: &cfg };
+        for r in 0..5 {
+            let g = adv.graph_for_round(r, &cfg, &oracle);
+            g.validate().unwrap();
+            assert!(is_connected(&g));
+        }
+        // All-stay robots make zero progress on any graph.
+        assert_eq!(adv.progress_history(), &[0, 0, 0, 0, 0]);
+        assert_eq!(adv.name(), "min-progress sampler");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn zero_candidates_rejected() {
+        let _ = MinProgressSampler::new(5, 0, 0.1, 0);
+    }
+}

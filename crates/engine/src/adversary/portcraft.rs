@@ -1,0 +1,96 @@
+//! Explicit port-order graph crafting for the trap adversaries.
+//!
+//! The model gives the adversary full control over port labels each round.
+//! The trap constructions need to dictate, per node, *which* port leads
+//! where; this helper builds a graph from an edge list plus per-node
+//! neighbor orders (position `i` in the order receives port `i + 1`).
+
+use std::collections::BTreeMap;
+
+use dispersion_graph::{GraphBuilder, NodeId, Port, PortLabeledGraph};
+
+/// Builds a graph from `edges`, assigning each node's ports by the order
+/// its neighbors appear in `orders` (defaulting to ascending neighbor id
+/// for nodes without an explicit order).
+///
+/// # Panics
+///
+/// Panics if an explicit order does not list exactly the node's neighbors,
+/// or if the edge list is malformed (self-loop, duplicate, out of range).
+pub(crate) fn build_with_orders(
+    n: usize,
+    edges: &[(NodeId, NodeId)],
+    orders: &BTreeMap<NodeId, Vec<NodeId>>,
+) -> PortLabeledGraph {
+    // Collect each node's neighbors.
+    let mut nbrs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        nbrs[a.index()].push(b);
+        nbrs[b.index()].push(a);
+    }
+    for list in &mut nbrs {
+        list.sort();
+    }
+    // Apply explicit orders.
+    for (v, order) in orders {
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            nbrs[v.index()],
+            "order for {v} must list exactly its neighbors"
+        );
+        nbrs[v.index()] = order.clone();
+    }
+    let port_at = |v: NodeId, w: NodeId| -> Port {
+        let pos = nbrs[v.index()]
+            .iter()
+            .position(|&x| x == w)
+            .expect("neighbor present");
+        Port::from_index(pos)
+    };
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in edges {
+        b.add_edge_with_ports(u, v, port_at(u, v), port_at(v, u))
+            .expect("edge list is well formed");
+    }
+    b.build().expect("orders produce contiguous ports")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn default_order_is_ascending_neighbor_id() {
+        let g = build_with_orders(
+            4,
+            &[(v(1), v(0)), (v(1), v(3)), (v(1), v(2))],
+            &BTreeMap::new(),
+        );
+        assert_eq!(g.neighbor_via(v(1), Port::new(1)).unwrap().0, v(0));
+        assert_eq!(g.neighbor_via(v(1), Port::new(2)).unwrap().0, v(2));
+        assert_eq!(g.neighbor_via(v(1), Port::new(3)).unwrap().0, v(3));
+    }
+
+    #[test]
+    fn explicit_order_respected() {
+        let orders = BTreeMap::from([(v(1), vec![v(3), v(0), v(2)])]);
+        let g = build_with_orders(4, &[(v(1), v(0)), (v(1), v(3)), (v(1), v(2))], &orders);
+        assert_eq!(g.neighbor_via(v(1), Port::new(1)).unwrap().0, v(3));
+        assert_eq!(g.neighbor_via(v(1), Port::new(2)).unwrap().0, v(0));
+        assert_eq!(g.neighbor_via(v(1), Port::new(3)).unwrap().0, v(2));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly its neighbors")]
+    fn wrong_order_rejected() {
+        let orders = BTreeMap::from([(v(1), vec![v(0)])]);
+        let _ = build_with_orders(3, &[(v(1), v(0)), (v(1), v(2))], &orders);
+    }
+}

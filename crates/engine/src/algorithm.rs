@@ -1,0 +1,61 @@
+//! The algorithm abstraction: pure, deterministic per-robot round logic.
+
+use dispersion_graph::Port;
+
+use crate::{RobotId, RobotView};
+
+/// The Move-phase decision of one robot in one round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Remain on the current node.
+    Stay,
+    /// Exit through the given port of the current node.
+    Move(Port),
+}
+
+/// Persistent-memory bit accounting (Section II: only bits carried
+/// *between* rounds count; in-round temporary memory is free).
+pub trait MemoryFootprint {
+    /// Number of persistent bits this memory occupies.
+    fn persistent_bits(&self) -> usize;
+}
+
+/// A deterministic dispersion algorithm, phrased per robot and per round.
+///
+/// `step` must be a *pure function* of the view and the persistent memory:
+/// no interior mutability, no global state, no randomness that is not
+/// derived from the view/memory. This mirrors the paper's model (the
+/// adversary knows the algorithm and all states, and the robots' in-round
+/// computation is scratch) and is what lets the engine expose a
+/// speculative [`crate::MoveOracle`] to adaptive adversaries.
+///
+/// Randomized baselines remain expressible by storing an explicitly seeded
+/// PRNG state in `Memory` — determinism is then per seed, which is exactly
+/// the reproducibility contract of this crate.
+pub trait DispersionAlgorithm {
+    /// Persistent per-robot memory carried between rounds.
+    type Memory: Clone + MemoryFootprint;
+
+    /// Human-readable algorithm name (used in traces and reports).
+    fn name(&self) -> &str;
+
+    /// Initial memory of robot `me` among `k` robots, before round 0.
+    fn init(&self, me: RobotId, k: usize) -> Self::Memory;
+
+    /// One Compute phase: observe the view, return the Move-phase action
+    /// and the memory to carry into the next round.
+    fn step(&self, view: &RobotView, memory: &Self::Memory) -> (Action, Self::Memory);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_equality() {
+        assert_eq!(Action::Stay, Action::Stay);
+        assert_eq!(Action::Move(Port::new(2)), Action::Move(Port::new(2)));
+        assert_ne!(Action::Move(Port::new(1)), Action::Move(Port::new(2)));
+        assert_ne!(Action::Stay, Action::Move(Port::new(1)));
+    }
+}

@@ -1,0 +1,45 @@
+//! Persistent-memory accounting helpers.
+//!
+//! The paper measures a robot's memory as the number of bits it carries
+//! *between* rounds; temporary memory used within a round is free. These
+//! helpers let [`crate::MemoryFootprint`] implementations report honest bit
+//! counts (e.g. Algorithm 4 stores an ID from `[1, k]` plus O(1) flags, so
+//! `Θ(log k)` bits).
+
+/// Bits needed to represent one of `count` distinct values: `⌈log₂ count⌉`,
+/// with a minimum of 1 bit (a value from a single-element domain still
+/// occupies a slot).
+pub fn bits_to_represent(count: usize) -> usize {
+    if count <= 2 {
+        1
+    } else {
+        (usize::BITS - (count - 1).leading_zeros()) as usize
+    }
+}
+
+/// Bits needed for an optional value: one presence bit plus the payload.
+pub fn bits_for_option(payload_bits: usize) -> usize {
+    1 + payload_bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representation_bits() {
+        assert_eq!(bits_to_represent(1), 1);
+        assert_eq!(bits_to_represent(2), 1);
+        assert_eq!(bits_to_represent(3), 2);
+        assert_eq!(bits_to_represent(4), 2);
+        assert_eq!(bits_to_represent(5), 3);
+        assert_eq!(bits_to_represent(1024), 10);
+        assert_eq!(bits_to_represent(1025), 11);
+    }
+
+    #[test]
+    fn option_bits() {
+        assert_eq!(bits_for_option(0), 1);
+        assert_eq!(bits_for_option(7), 8);
+    }
+}

@@ -1,0 +1,131 @@
+//! Communication / sensing model selection and activation schedules.
+
+use std::fmt;
+
+/// Which robots a robot can talk to during the *Communicate* phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommModel {
+    /// A robot communicates only with robots on its own node (footnote 1 of
+    /// the paper).
+    Local,
+    /// A robot communicates with every robot in the graph, wherever it is.
+    /// Positional information is still *not* conveyed — nodes are anonymous.
+    Global,
+}
+
+impl fmt::Display for CommModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommModel::Local => write!(f, "local"),
+            CommModel::Global => write!(f, "global"),
+        }
+    }
+}
+
+/// The four model cells of Table I: a communication model plus the
+/// presence/absence of 1-neighborhood knowledge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ModelSpec {
+    /// Communication reach.
+    pub comm: CommModel,
+    /// Whether a robot senses the full occupancy information of the
+    /// neighboring nodes (which are occupied, by which robot IDs, with what
+    /// multiplicity).
+    pub neighborhood: bool,
+}
+
+impl ModelSpec {
+    /// Global communication with 1-neighborhood knowledge — the model in
+    /// which the paper's algorithm runs (Table I row 3).
+    pub const GLOBAL_WITH_NEIGHBORHOOD: ModelSpec = ModelSpec {
+        comm: CommModel::Global,
+        neighborhood: true,
+    };
+
+    /// Local communication with 1-neighborhood knowledge (Table I row 1,
+    /// impossible).
+    pub const LOCAL_WITH_NEIGHBORHOOD: ModelSpec = ModelSpec {
+        comm: CommModel::Local,
+        neighborhood: true,
+    };
+
+    /// Global communication without 1-neighborhood knowledge (Table I row
+    /// 2, impossible).
+    pub const GLOBAL_BLIND: ModelSpec = ModelSpec {
+        comm: CommModel::Global,
+        neighborhood: false,
+    };
+
+    /// Local communication without 1-neighborhood knowledge (strictly
+    /// weaker than both impossible rows).
+    pub const LOCAL_BLIND: ModelSpec = ModelSpec {
+        comm: CommModel::Local,
+        neighborhood: false,
+    };
+}
+
+impl fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} comm, {} 1-neighborhood knowledge",
+            self.comm,
+            if self.neighborhood { "with" } else { "without" }
+        )
+    }
+}
+
+/// Robot activation schedule. The paper's setting is fully synchronous;
+/// the other variants implement the semi-synchronous future-work direction
+/// of Section VIII for the extension experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Activation {
+    /// Every robot is activated in every round (the paper's model).
+    #[default]
+    FullSync,
+    /// Each robot is independently activated with probability `p_percent/100`
+    /// each round, from the given seed (semi-synchronous extension).
+    SemiSync {
+        /// Activation probability in percent (1–100).
+        p_percent: u8,
+        /// RNG seed for the activation coin flips.
+        seed: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_model() {
+        assert_eq!(
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD.to_string(),
+            "global comm, with 1-neighborhood knowledge"
+        );
+        assert_eq!(
+            ModelSpec::LOCAL_BLIND.to_string(),
+            "local comm, without 1-neighborhood knowledge"
+        );
+    }
+
+    #[test]
+    fn default_activation_is_sync() {
+        assert_eq!(Activation::default(), Activation::FullSync);
+    }
+
+    #[test]
+    fn table_one_cells_are_distinct() {
+        let cells = [
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
+            ModelSpec::GLOBAL_BLIND,
+            ModelSpec::LOCAL_BLIND,
+        ];
+        for (i, a) in cells.iter().enumerate() {
+            for (j, b) in cells.iter().enumerate() {
+                assert_eq!(i == j, a == b);
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Information packets, Section V of the paper.
+//!
+//! At the start of each round, the robots on every occupied node agree
+//! locally on their smallest-ID member, who broadcasts one *information
+//! packet* `InfoPacket_r(v_i) = {a_i, count(a_i), N_r^occupied(v_i),
+//! P_r^occupied(v_i)}`. With global communication every robot receives the
+//! packets of all occupied nodes; with local communication only the
+//! packet of its own node is visible.
+//!
+//! Nodes are anonymous, so a packet identifies its node by the sender's
+//! robot ID, and identifies occupied neighbors by *their* smallest robot
+//! IDs. Without 1-neighborhood knowledge the neighbor fields are absent —
+//! the robot simply cannot sense them.
+
+use dispersion_graph::{NodeId, Port, PortLabeledGraph};
+
+use crate::{Configuration, RobotId};
+
+/// What the sender knows about one *occupied* neighbor node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NeighborReport {
+    /// The port at the sender's node leading to this neighbor (an element
+    /// of `P_r^occupied(v_i)`).
+    pub port: Port,
+    /// Smallest robot ID on the neighbor node — the neighbor's identity in
+    /// the component construction.
+    pub min_robot: RobotId,
+    /// Multiplicity at the neighbor node.
+    pub count: usize,
+    /// All robot IDs on the neighbor node, ascending.
+    pub robots: Vec<RobotId>,
+}
+
+/// One per-node information packet (Section V).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InfoPacket {
+    /// Smallest-ID robot on the node; doubles as the node's identity.
+    pub sender: RobotId,
+    /// Number of robots on the node (`count(a_i)`).
+    pub count: usize,
+    /// All robot IDs on the node, ascending.
+    pub robots: Vec<RobotId>,
+    /// Degree `δ_r(v_i)` of the node — observable locally (the node's ports
+    /// are `1..=δ`), and needed by remote robots to decide whether the node
+    /// has an empty neighbor (`degree > occupied_neighbors.len()`).
+    /// `None` without 1-neighborhood knowledge (without sensing, reporting
+    /// the local degree would leak exactly the information Theorem 2
+    /// forbids combining with global communication — we expose it only in
+    /// the sensing model where the paper's algorithm needs it).
+    pub degree: Option<usize>,
+    /// Reports for occupied neighbors (`N_r^occupied` with ports
+    /// `P_r^occupied`), ascending by port. `None` without 1-neighborhood
+    /// knowledge.
+    pub occupied_neighbors: Option<Vec<NeighborReport>>,
+}
+
+impl InfoPacket {
+    /// Whether the sender's node has at least one empty (unoccupied)
+    /// neighbor, i.e. belongs to `LeafNodeSet` if it is in the spanning
+    /// tree. `None` without 1-neighborhood knowledge.
+    pub fn has_empty_neighbor(&self) -> Option<bool> {
+        match (self.degree, &self.occupied_neighbors) {
+            (Some(d), Some(occ)) => Some(d > occ.len()),
+            _ => None,
+        }
+    }
+}
+
+/// Builds the packets of round `r`: one per occupied node, ascending by
+/// sender ID. `neighborhood` controls whether sensing fields are filled.
+///
+/// # Panics
+///
+/// Panics if the configuration refers to nodes outside `g`.
+pub fn build_packets(
+    g: &PortLabeledGraph,
+    config: &Configuration,
+    neighborhood: bool,
+) -> Vec<InfoPacket> {
+    assert_eq!(
+        g.node_count(),
+        config.node_count(),
+        "configuration/graph size mismatch"
+    );
+    let mut packets: Vec<InfoPacket> = config
+        .occupancy()
+        .into_iter()
+        .map(|(v, count)| build_packet_at(g, config, v, count, neighborhood))
+        .collect();
+    packets.sort_by_key(|p| p.sender);
+    packets
+}
+
+fn build_packet_at(
+    g: &PortLabeledGraph,
+    config: &Configuration,
+    v: NodeId,
+    count: usize,
+    neighborhood: bool,
+) -> InfoPacket {
+    let robots = config.robots_at(v);
+    let sender = robots[0];
+    let (degree, occupied_neighbors) = if neighborhood {
+        let mut reports = Vec::new();
+        for (port, w, _) in g.neighbors(v) {
+            let nbr_robots = config.robots_at(w);
+            if let Some(&min_robot) = nbr_robots.first() {
+                reports.push(NeighborReport {
+                    port,
+                    min_robot,
+                    count: nbr_robots.len(),
+                    robots: nbr_robots,
+                });
+            }
+        }
+        (Some(g.degree(v)), Some(reports))
+    } else {
+        (None, None)
+    };
+    InfoPacket {
+        sender,
+        count,
+        robots,
+        degree,
+        occupied_neighbors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dispersion_graph::generators;
+
+    fn r(i: u32) -> RobotId {
+        RobotId::new(i)
+    }
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn packets_one_per_occupied_node_sorted_by_sender() {
+        // Path 0-1-2-3-4; robots: {3,5} on node 1, {2} on node 2, {1} on 4.
+        let g = generators::path(5).unwrap();
+        let c = Configuration::from_pairs(
+            5,
+            [(r(3), v(1)), (r(5), v(1)), (r(2), v(2)), (r(1), v(4))],
+        );
+        let packets = build_packets(&g, &c, true);
+        assert_eq!(packets.len(), 3);
+        assert_eq!(packets[0].sender, r(1));
+        assert_eq!(packets[1].sender, r(2));
+        assert_eq!(packets[2].sender, r(3));
+        assert_eq!(packets[2].count, 2);
+        assert_eq!(packets[2].robots, vec![r(3), r(5)]);
+    }
+
+    #[test]
+    fn neighbor_reports_cover_occupied_only() {
+        let g = generators::path(5).unwrap();
+        let c = Configuration::from_pairs(
+            5,
+            [(r(3), v(1)), (r(5), v(1)), (r(2), v(2)), (r(1), v(4))],
+        );
+        let packets = build_packets(&g, &c, true);
+        // Node 2's neighbors are 1 (occupied, min robot 3) and 3 (empty).
+        let p2 = &packets[1];
+        assert_eq!(p2.degree, Some(2));
+        let reports = p2.occupied_neighbors.as_ref().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].min_robot, r(3));
+        assert_eq!(reports[0].count, 2);
+        assert_eq!(p2.has_empty_neighbor(), Some(true));
+        // Node 4's only neighbor (3) is empty.
+        let p1 = &packets[0];
+        assert_eq!(p1.occupied_neighbors.as_ref().unwrap().len(), 0);
+        assert_eq!(p1.has_empty_neighbor(), Some(true));
+    }
+
+    #[test]
+    fn no_empty_neighbor_detected() {
+        // Path of 3; all nodes occupied: middle node has no empty neighbor.
+        let g = generators::path(3).unwrap();
+        let c = Configuration::from_pairs(
+            3,
+            [(r(1), v(0)), (r(2), v(1)), (r(3), v(1)), (r(4), v(2))],
+        );
+        let packets = build_packets(&g, &c, true);
+        let mid = packets.iter().find(|p| p.sender == r(2)).unwrap();
+        assert_eq!(mid.has_empty_neighbor(), Some(false));
+    }
+
+    #[test]
+    fn blind_packets_have_no_sensing_fields() {
+        let g = generators::path(3).unwrap();
+        let c = Configuration::from_pairs(3, [(r(1), v(0)), (r(2), v(1))]);
+        let packets = build_packets(&g, &c, false);
+        for p in &packets {
+            assert_eq!(p.degree, None);
+            assert_eq!(p.occupied_neighbors, None);
+            assert_eq!(p.has_empty_neighbor(), None);
+        }
+    }
+
+    #[test]
+    fn reports_are_port_ordered() {
+        // Star center 0 occupied, leaves 2 and 4 occupied (ports 2 and 4).
+        let g = generators::star(5).unwrap();
+        let c = Configuration::from_pairs(
+            5,
+            [(r(1), v(0)), (r(2), v(2)), (r(3), v(4))],
+        );
+        let packets = build_packets(&g, &c, true);
+        let center = packets.iter().find(|p| p.sender == r(1)).unwrap();
+        let reports = center.occupied_neighbors.as_ref().unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].port < reports[1].port);
+    }
+}

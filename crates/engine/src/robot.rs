@@ -1,0 +1,80 @@
+//! Robot identifiers.
+
+use std::fmt;
+
+/// Unique robot identifier in `[1, k]`, as assumed in Section II of the
+/// paper (each robot carries a `⌈log k⌉`-bit ID).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RobotId(u32);
+
+impl RobotId {
+    /// Creates a robot identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is zero; robot IDs are 1-based.
+    pub const fn new(id: u32) -> Self {
+        assert!(id >= 1, "robot IDs are 1-based");
+        RobotId(id)
+    }
+
+    /// Returns the 1-based numeric ID.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Number of persistent bits needed to store an ID drawn from `[1, k]`:
+    /// `⌈log₂ k⌉` (and at least 1).
+    pub fn bits_for_population(k: usize) -> usize {
+        crate::memory::bits_to_represent(k)
+    }
+}
+
+impl fmt::Debug for RobotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for RobotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Iterator over all robot IDs `1..=k`.
+pub fn all_robots(k: usize) -> impl Iterator<Item = RobotId> {
+    (1..=k as u32).map(RobotId::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_one_based() {
+        let r = RobotId::new(3);
+        assert_eq!(r.get(), 3);
+        assert_eq!(format!("{r}"), "r3");
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_id_rejected() {
+        let _ = RobotId::new(0);
+    }
+
+    #[test]
+    fn bits_for_population_is_log() {
+        assert_eq!(RobotId::bits_for_population(1), 1);
+        assert_eq!(RobotId::bits_for_population(2), 1);
+        assert_eq!(RobotId::bits_for_population(8), 3);
+        assert_eq!(RobotId::bits_for_population(9), 4);
+    }
+
+    #[test]
+    fn all_robots_enumerates() {
+        let ids: Vec<_> = super::all_robots(3).collect();
+        assert_eq!(ids, vec![RobotId::new(1), RobotId::new(2), RobotId::new(3)]);
+    }
+}

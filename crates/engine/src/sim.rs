@@ -1,0 +1,792 @@
+//! The synchronous Communicate–Compute–Move simulator.
+
+use std::collections::BTreeMap;
+
+use dispersion_graph::connectivity::is_connected;
+use dispersion_graph::dynamics::GraphSequence;
+use dispersion_graph::{GraphError, Port};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::adversary::DynamicNetwork;
+use crate::oracle::EngineOracle;
+use crate::view::build_views;
+use crate::{
+    Action, Activation, Configuration, CrashPhase, DispersionAlgorithm, ExecutionTrace,
+    FaultPlan, MemoryFootprint, ModelSpec, RobotId, RoundRecord, SimError,
+};
+
+/// Tunables for a run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOptions {
+    /// Hard round cap; the run reports `dispersed = false` when exceeded.
+    pub max_rounds: u64,
+    /// Record every adversary graph into the trace (costly for large runs,
+    /// invaluable for audits).
+    pub record_graphs: bool,
+    /// Re-validate every adversary graph (connectivity, port labeling,
+    /// fixed node count). Disable only in benchmarks of trusted networks.
+    pub validate_graphs: bool,
+    /// Robot activation schedule (the paper's model is [`Activation::FullSync`]).
+    pub activation: Activation,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            max_rounds: 100_000,
+            record_graphs: false,
+            validate_graphs: true,
+            activation: Activation::FullSync,
+        }
+    }
+}
+
+/// Result of a completed run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Whether the live robots reached a dispersion configuration within
+    /// the round cap.
+    pub dispersed: bool,
+    /// Rounds executed before termination (a run that starts dispersed
+    /// reports 0).
+    pub rounds: u64,
+    /// Total robots `k` at the start (crashed robots included).
+    pub k: usize,
+    /// Robots that crashed during the run (`≤ f`).
+    pub crashes: usize,
+    /// Final placement of the live robots.
+    pub final_config: Configuration,
+    /// Per-round records (and graphs, if recorded).
+    pub trace: ExecutionTrace,
+}
+
+impl SimOutcome {
+    /// Maximum persistent memory (bits) any robot carried between rounds.
+    pub fn max_memory_bits(&self) -> usize {
+        self.trace.max_memory_bits()
+    }
+}
+
+/// Result of a single [`Simulator::step`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepStatus {
+    /// The live robots were already dispersed when the round began;
+    /// nothing was executed.
+    Dispersed,
+    /// One round executed; the record describes it.
+    Advanced(RoundRecord),
+}
+
+/// The synchronous CCM simulator (Section II).
+///
+/// Each round:
+///
+/// 1. apply `BeforeCommunicate` crashes; stop if the live robots are
+///    dispersed;
+/// 2. ask the [`DynamicNetwork`] for `G_r` (handing it the live
+///    configuration and a speculative [`crate::MoveOracle`]);
+/// 3. *Communicate*: build packets and per-robot views per the
+///    [`ModelSpec`];
+/// 4. *Compute*: run the pure `step` of every activated robot;
+/// 5. apply `AfterCompute` crashes (those robots vanish without moving);
+/// 6. *Move*: apply the surviving actions simultaneously.
+pub struct Simulator<A: DispersionAlgorithm, N: DynamicNetwork> {
+    algorithm: A,
+    network: N,
+    model: ModelSpec,
+    options: SimOptions,
+    faults: FaultPlan,
+    k: usize,
+    config: Configuration,
+    memories: BTreeMap<RobotId, A::Memory>,
+    arrival_ports: BTreeMap<RobotId, Port>,
+    ever_occupied: Vec<bool>,
+    round: u64,
+    records: Vec<RoundRecord>,
+    recorded_graphs: Option<GraphSequence>,
+    total_crashes: usize,
+}
+
+impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
+    /// Creates a fault-free simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyRobots`] if the configuration holds more
+    /// robots than the network has nodes.
+    pub fn new(
+        algorithm: A,
+        network: N,
+        model: ModelSpec,
+        initial: Configuration,
+        options: SimOptions,
+    ) -> Result<Self, SimError> {
+        let k = initial.robot_count();
+        let n = network.node_count();
+        if k > n {
+            return Err(SimError::TooManyRobots { k, n });
+        }
+        let memories = initial
+            .iter()
+            .map(|(r, _)| (r, algorithm.init(r, k)))
+            .collect();
+        let ever_occupied = initial.occupied_indicator();
+        let recorded_graphs = options.record_graphs.then(GraphSequence::new);
+        Ok(Simulator {
+            algorithm,
+            network,
+            model,
+            options,
+            faults: FaultPlan::none(),
+            k,
+            config: initial,
+            memories,
+            arrival_ports: BTreeMap::new(),
+            ever_occupied,
+            round: 0,
+            records: Vec::new(),
+            recorded_graphs,
+            total_crashes: 0,
+        })
+    }
+
+    /// Installs a crash-fault schedule (Section VII).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The live configuration (before or after `run`).
+    pub fn configuration(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// The dynamic network, e.g. to read adversary statistics after `run`.
+    pub fn network(&self) -> &N {
+        &self.network
+    }
+
+    fn activated(&self, round: u64, robot: RobotId) -> bool {
+        match self.options.activation {
+            Activation::FullSync => true,
+            Activation::SemiSync { p_percent, seed } => {
+                let mix = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(round.wrapping_mul(0xff51_afd7_ed55_8ccd))
+                    .wrapping_add(u64::from(robot.get()));
+                let mut rng = StdRng::seed_from_u64(mix);
+                rng.random_range(0..100u8) < p_percent
+            }
+        }
+    }
+
+    /// Executes a single CCM round (or detects that the live robots are
+    /// already dispersed). Gives callers round-by-round control — e.g.
+    /// to inspect the configuration, inject decisions between rounds, or
+    /// drive visualizations; [`Simulator::run`] is a loop over this.
+    ///
+    /// `step` ignores [`SimOptions::max_rounds`]; the cap belongs to
+    /// `run`'s loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the adversary produces an invalid graph or a
+    /// robot requests a nonexistent port.
+    pub fn step(&mut self) -> Result<StepStatus, SimError> {
+        let round = self.round;
+        // Phase 0: before-Communicate crashes.
+        let mut crashed_this_round = Vec::new();
+        for r in self.faults.crashes_at(round, CrashPhase::BeforeCommunicate) {
+            if self.config.remove(r).is_some() {
+                self.memories.remove(&r);
+                self.arrival_ports.remove(&r);
+                crashed_this_round.push(r);
+            }
+        }
+        self.total_crashes += crashed_this_round.len();
+
+        if self.config.is_dispersed() {
+            return Ok(StepStatus::Dispersed);
+        }
+
+        // Adversary picks G_r.
+        let g = {
+            let oracle = EngineOracle {
+                algorithm: &self.algorithm,
+                memories: &self.memories,
+                config: &self.config,
+                model: self.model,
+                round,
+                k: self.k,
+                arrival_ports: &self.arrival_ports,
+            };
+            self.network.graph_for_round(round, &self.config, &oracle)
+        };
+        if self.options.validate_graphs {
+            if g.node_count() != self.config.node_count() {
+                return Err(SimError::BadAdversaryGraph {
+                    round,
+                    source: GraphError::NodeCountMismatch {
+                        expected: self.config.node_count(),
+                        actual: g.node_count(),
+                    },
+                });
+            }
+            g.validate()
+                .and_then(|()| {
+                    if is_connected(&g) {
+                        Ok(())
+                    } else {
+                        Err(GraphError::Disconnected)
+                    }
+                })
+                .map_err(|source| SimError::BadAdversaryGraph { round, source })?;
+        }
+
+        let occupied_before = self.config.occupied_count();
+
+        // Communicate + Compute (pure; memories updated after Move).
+        let views = build_views(&g, &self.config, self.model, round, self.k, &|r| {
+            self.arrival_ports.get(&r).copied()
+        });
+        let mut decisions: Vec<(RobotId, Action, A::Memory)> = Vec::new();
+        for (robot, view) in &views {
+            if !self.activated(round, *robot) {
+                continue;
+            }
+            let mem = &self.memories[robot];
+            let (action, next) = self.algorithm.step(view, mem);
+            decisions.push((*robot, action, next));
+        }
+
+        // After-Compute crashes: these robots vanish without moving.
+        let after_crashes = self.faults.crashes_at(round, CrashPhase::AfterCompute);
+        for r in &after_crashes {
+            if self.config.remove(*r).is_some() {
+                self.memories.remove(r);
+                self.arrival_ports.remove(r);
+                crashed_this_round.push(*r);
+                self.total_crashes += 1;
+            }
+        }
+        decisions.retain(|(r, _, _)| !after_crashes.contains(r));
+
+        // Move: apply all surviving actions simultaneously.
+        let mut moves = 0usize;
+        for (robot, action, next_mem) in decisions {
+            match action {
+                Action::Stay => {
+                    self.arrival_ports.remove(&robot);
+                }
+                Action::Move(p) => {
+                    let from = self.config.node_of(robot).expect("robot is live");
+                    let (to, entry) =
+                        g.neighbor_via(from, p).ok_or(SimError::InvalidMove {
+                            round,
+                            robot,
+                            port: p,
+                            degree: g.degree(from),
+                        })?;
+                    self.config.set_position(robot, to);
+                    self.arrival_ports.insert(robot, entry);
+                    moves += 1;
+                }
+            }
+            self.memories.insert(robot, next_mem);
+        }
+
+        // Progress accounting.
+        let mut newly_occupied = 0usize;
+        for (v, _) in self.config.occupancy() {
+            if !self.ever_occupied[v.index()] {
+                self.ever_occupied[v.index()] = true;
+                newly_occupied += 1;
+            }
+        }
+        let max_memory_bits = self
+            .memories
+            .values()
+            .map(MemoryFootprint::persistent_bits)
+            .max()
+            .unwrap_or(0);
+
+        crashed_this_round.sort();
+        let record = RoundRecord {
+            round,
+            occupied_before,
+            occupied_after: self.config.occupied_count(),
+            newly_occupied,
+            moves,
+            crashed: crashed_this_round,
+            max_memory_bits,
+        };
+        self.records.push(record.clone());
+        if let Some(seq) = self.recorded_graphs.as_mut() {
+            seq.push(g)
+                .map_err(|source| SimError::BadAdversaryGraph { round, source })?;
+        }
+        self.round += 1;
+        Ok(StepStatus::Advanced(record))
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Per-round records accumulated so far.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    fn outcome(&self, dispersed: bool) -> SimOutcome {
+        SimOutcome {
+            dispersed,
+            rounds: self.round,
+            k: self.k,
+            crashes: self.total_crashes,
+            final_config: self.config.clone(),
+            trace: ExecutionTrace {
+                records: self.records.clone(),
+                graphs: self.recorded_graphs.clone(),
+            },
+        }
+    }
+
+    /// Runs to termination (dispersion of the live robots) or to the round
+    /// cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the adversary produces an invalid graph or a
+    /// robot requests a nonexistent port.
+    pub fn run(&mut self) -> Result<SimOutcome, SimError> {
+        loop {
+            if self.round >= self.options.max_rounds {
+                // No further round may execute; the termination state is
+                // decided by the configuration after this round's early
+                // crashes (mirrors the per-round order of `step`).
+                for r in self
+                    .faults
+                    .crashes_at(self.round, CrashPhase::BeforeCommunicate)
+                {
+                    if self.config.remove(r).is_some() {
+                        self.memories.remove(&r);
+                        self.arrival_ports.remove(&r);
+                        self.total_crashes += 1;
+                    }
+                }
+                return Ok(self.outcome(self.config.is_dispersed()));
+            }
+            if let StepStatus::Dispersed = self.step()? {
+                return Ok(self.outcome(true));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::StaticNetwork;
+    use crate::{CrashEvent, RobotView};
+    use dispersion_graph::{generators, NodeId};
+
+    /// All non-minimum robots on a node exit through the smallest empty
+    /// port if any, else port 1. Disperses on a path when walking away
+    /// from the smallest robot.
+    struct GreedySpill;
+
+    #[derive(Clone)]
+    struct Nil;
+    impl MemoryFootprint for Nil {
+        fn persistent_bits(&self) -> usize {
+            3
+        }
+    }
+
+    impl DispersionAlgorithm for GreedySpill {
+        type Memory = Nil;
+        fn name(&self) -> &str {
+            "greedy-spill"
+        }
+        fn init(&self, _me: RobotId, _k: usize) -> Nil {
+            Nil
+        }
+        fn step(&self, view: &RobotView, _mem: &Nil) -> (Action, Nil) {
+            if view.colocated.first() == Some(&view.me) {
+                return (Action::Stay, Nil);
+            }
+            let empties = view.empty_ports().unwrap_or_default();
+            // Spread: i-th extra robot takes i-th empty port when possible.
+            let my_rank = view
+                .colocated
+                .iter()
+                .position(|&r| r == view.me)
+                .expect("self in colocated")
+                - 1;
+            match empties.get(my_rank % empties.len().max(1)) {
+                Some(&p) => (Action::Move(p), Nil),
+                None => (Action::Stay, Nil),
+            }
+        }
+    }
+
+    #[test]
+    fn disperses_on_star() {
+        // k robots on the center of a star: each extra robot takes a
+        // distinct empty port, dispersing in one round.
+        let g = generators::star(6).unwrap();
+        let mut sim = Simulator::new(
+            GreedySpill,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(6, 5, NodeId::new(0)),
+            SimOptions::default(),
+        )
+        .unwrap();
+        let out = sim.run().unwrap();
+        assert!(out.dispersed);
+        assert_eq!(out.rounds, 1);
+        assert!(out.final_config.is_dispersed());
+        assert_eq!(out.trace.records.len(), 1);
+        assert_eq!(out.trace.records[0].newly_occupied, 4);
+        assert_eq!(out.max_memory_bits(), 3);
+    }
+
+    #[test]
+    fn already_dispersed_takes_zero_rounds() {
+        let g = generators::path(4).unwrap();
+        let cfg = Configuration::from_pairs(
+            4,
+            [(RobotId::new(1), NodeId::new(0)), (RobotId::new(2), NodeId::new(2))],
+        );
+        let out = Simulator::new(
+            GreedySpill,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            cfg,
+            SimOptions::default(),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(out.dispersed);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn round_cap_reports_not_dispersed() {
+        /// Robots that never move cannot disperse a rooted configuration.
+        struct Frozen;
+        impl DispersionAlgorithm for Frozen {
+            type Memory = Nil;
+            fn name(&self) -> &str {
+                "frozen"
+            }
+            fn init(&self, _me: RobotId, _k: usize) -> Nil {
+                Nil
+            }
+            fn step(&self, _v: &RobotView, _m: &Nil) -> (Action, Nil) {
+                (Action::Stay, Nil)
+            }
+        }
+        let g = generators::path(4).unwrap();
+        let out = Simulator::new(
+            Frozen,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(4, 2, NodeId::new(0)),
+            SimOptions {
+                max_rounds: 10,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(!out.dispersed);
+        assert_eq!(out.rounds, 10);
+    }
+
+    #[test]
+    fn too_many_robots_rejected() {
+        let g = generators::path(2).unwrap();
+        let err = Simulator::new(
+            GreedySpill,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(2, 3, NodeId::new(0)),
+            SimOptions::default(),
+        )
+        .err()
+        .unwrap();
+        assert_eq!(err, SimError::TooManyRobots { k: 3, n: 2 });
+    }
+
+    #[test]
+    fn crash_before_communicate_thins_population() {
+        // Three robots on one 2-node edge: crashing one before round 0
+        // leaves 2 robots; dispersion then needs both nodes.
+        let g = generators::path(2).unwrap();
+        let out = Simulator::new(
+            GreedySpill,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(2, 2, NodeId::new(0)),
+            SimOptions::default(),
+        )
+        .unwrap()
+        .with_faults(FaultPlan::from_events([CrashEvent {
+            robot: RobotId::new(2),
+            round: 0,
+            phase: CrashPhase::BeforeCommunicate,
+        }]))
+        .run()
+        .unwrap();
+        // Robot 2 crashed, robot 1 alone is trivially dispersed.
+        assert!(out.dispersed);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.crashes, 1);
+        assert_eq!(out.final_config.robot_count(), 1);
+    }
+
+    #[test]
+    fn crash_after_compute_cancels_move() {
+        // Star: robots 2..=3 would fan out, but robot 2 crashes after
+        // compute; it vanishes and robot 3 still moves.
+        let g = generators::star(4).unwrap();
+        let out = Simulator::new(
+            GreedySpill,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(4, 3, NodeId::new(0)),
+            SimOptions::default(),
+        )
+        .unwrap()
+        .with_faults(FaultPlan::from_events([CrashEvent {
+            robot: RobotId::new(2),
+            round: 0,
+            phase: CrashPhase::AfterCompute,
+        }]))
+        .run()
+        .unwrap();
+        assert!(out.dispersed);
+        assert_eq!(out.crashes, 1);
+        assert_eq!(out.final_config.robot_count(), 2);
+        // Robot 2 is gone; robots 1 and 3 on distinct nodes.
+        assert!(out.final_config.node_of(RobotId::new(2)).is_none());
+    }
+
+    #[test]
+    fn bad_adversary_graph_is_an_error() {
+        /// A network that returns a graph of the wrong size.
+        struct WrongSize;
+        impl crate::adversary::DynamicNetwork for WrongSize {
+            fn node_count(&self) -> usize {
+                4
+            }
+            fn graph_for_round(
+                &mut self,
+                _round: u64,
+                _config: &Configuration,
+                _oracle: &dyn crate::MoveOracle,
+            ) -> dispersion_graph::PortLabeledGraph {
+                generators::path(3).unwrap()
+            }
+        }
+        let mut sim = Simulator::new(
+            GreedySpill,
+            WrongSize,
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(4, 2, NodeId::new(0)),
+            SimOptions::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::BadAdversaryGraph { round: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_adversary_graph_is_an_error() {
+        struct Disconnected;
+        impl crate::adversary::DynamicNetwork for Disconnected {
+            fn node_count(&self) -> usize {
+                4
+            }
+            fn graph_for_round(
+                &mut self,
+                _round: u64,
+                _config: &Configuration,
+                _oracle: &dyn crate::MoveOracle,
+            ) -> dispersion_graph::PortLabeledGraph {
+                let mut b = dispersion_graph::GraphBuilder::new(4);
+                b.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+                b.add_edge(NodeId::new(2), NodeId::new(3)).unwrap();
+                b.build().unwrap()
+            }
+        }
+        let mut sim = Simulator::new(
+            GreedySpill,
+            Disconnected,
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(4, 2, NodeId::new(0)),
+            SimOptions::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::BadAdversaryGraph { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_move_is_an_error() {
+        /// Robots that ask for a port beyond the degree.
+        struct PortNine;
+        impl DispersionAlgorithm for PortNine {
+            type Memory = Nil;
+            fn name(&self) -> &str {
+                "port-nine"
+            }
+            fn init(&self, _me: RobotId, _k: usize) -> Nil {
+                Nil
+            }
+            fn step(&self, _v: &RobotView, _m: &Nil) -> (Action, Nil) {
+                (Action::Move(Port::new(9)), Nil)
+            }
+        }
+        let mut sim = Simulator::new(
+            PortNine,
+            StaticNetwork::new(generators::path(3).unwrap()),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(3, 2, NodeId::new(0)),
+            SimOptions::default(),
+        )
+        .unwrap();
+        let err = sim.run().unwrap_err();
+        assert!(matches!(err, SimError::InvalidMove { port, .. } if port == Port::new(9)));
+    }
+
+    #[test]
+    fn trace_records_graphs_when_asked() {
+        let g = generators::star(4).unwrap();
+        let out = Simulator::new(
+            GreedySpill,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(4, 3, NodeId::new(0)),
+            SimOptions {
+                record_graphs: true,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let seq = out.trace.graphs.as_ref().unwrap();
+        assert_eq!(seq.len() as u64, out.rounds);
+        assert_eq!(seq.dynamic_diameter(), Some(2));
+    }
+
+    #[test]
+    fn stepwise_api_matches_run() {
+        let g = generators::star(6).unwrap();
+        let mk = || {
+            Simulator::new(
+                GreedySpill,
+                StaticNetwork::new(g.clone()),
+                ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+                Configuration::rooted(6, 4, NodeId::new(0)),
+                SimOptions::default(),
+            )
+            .unwrap()
+        };
+        let mut stepped = mk();
+        let mut statuses = Vec::new();
+        loop {
+            match stepped.step().unwrap() {
+                StepStatus::Dispersed => break,
+                StepStatus::Advanced(rec) => statuses.push(rec),
+            }
+        }
+        let mut ran = mk();
+        let out = ran.run().unwrap();
+        assert!(out.dispersed);
+        assert_eq!(statuses, out.trace.records);
+        assert_eq!(stepped.round(), out.rounds);
+        assert_eq!(stepped.records(), &out.trace.records[..]);
+        assert_eq!(stepped.configuration(), &out.final_config);
+    }
+
+    #[test]
+    fn step_is_idempotent_once_dispersed() {
+        let g = generators::path(4).unwrap();
+        let mut sim = Simulator::new(
+            GreedySpill,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::from_pairs(
+                4,
+                [(RobotId::new(1), NodeId::new(0)), (RobotId::new(2), NodeId::new(2))],
+            ),
+            SimOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sim.step().unwrap(), StepStatus::Dispersed);
+        assert_eq!(sim.step().unwrap(), StepStatus::Dispersed);
+        assert_eq!(sim.round(), 0);
+        assert!(sim.records().is_empty());
+    }
+
+    #[test]
+    fn stepwise_observation_between_rounds() {
+        // The point of the step API: callers can watch the configuration
+        // evolve. Occupied count grows monotonically for GreedySpill on a
+        // star.
+        let g = generators::star(8).unwrap();
+        let mut sim = Simulator::new(
+            GreedySpill,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(8, 6, NodeId::new(0)),
+            SimOptions::default(),
+        )
+        .unwrap();
+        let mut last = sim.configuration().occupied_count();
+        while let StepStatus::Advanced(_) = sim.step().unwrap() {
+            let now = sim.configuration().occupied_count();
+            assert!(now >= last);
+            last = now;
+        }
+        assert!(sim.configuration().is_dispersed());
+    }
+
+    #[test]
+    fn semisync_inactive_robots_hold_position() {
+        // With 0% activation nothing ever moves.
+        let g = generators::star(4).unwrap();
+        let out = Simulator::new(
+            GreedySpill,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(4, 3, NodeId::new(0)),
+            SimOptions {
+                max_rounds: 5,
+                activation: Activation::SemiSync {
+                    p_percent: 0,
+                    seed: 1,
+                },
+                ..SimOptions::default()
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(!out.dispersed);
+        assert_eq!(out.trace.total_moves(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Execution traces: what happened in each round of a run.
+
+use dispersion_graph::dynamics::GraphSequence;
+
+use crate::RobotId;
+
+/// Summary of one executed round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// Round number.
+    pub round: u64,
+    /// Occupied-node count at the start of the round (after
+    /// before-Communicate crashes).
+    pub occupied_before: usize,
+    /// Occupied-node count at the end of the round.
+    pub occupied_after: usize,
+    /// Nodes occupied at the end of this round that had *never* been
+    /// occupied before (the progress measure of Lemma 7).
+    pub newly_occupied: usize,
+    /// Number of robots that moved along an edge this round.
+    pub moves: usize,
+    /// Robots that crashed during this round (either phase).
+    pub crashed: Vec<RobotId>,
+    /// Maximum persistent memory (bits) across live robots at round end.
+    pub max_memory_bits: usize,
+}
+
+/// Full trace of a run.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionTrace {
+    /// Per-round records, in order.
+    pub records: Vec<RoundRecord>,
+    /// The graphs the adversary produced, when recording was enabled
+    /// (useful to audit 1-interval connectivity and dynamic diameter
+    /// claims after the fact).
+    pub graphs: Option<GraphSequence>,
+}
+
+impl ExecutionTrace {
+    /// Number of executed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Total robot moves over the run.
+    pub fn total_moves(&self) -> usize {
+        self.records.iter().map(|r| r.moves).sum()
+    }
+
+    /// Maximum persistent memory observed across the run (bits).
+    pub fn max_memory_bits(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| r.max_memory_bits)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every executed round increased the ever-occupied set — the
+    /// per-round progress guarantee of Lemma 7 (holds for Algorithm 4 in
+    /// rounds that start with a multiplicity node).
+    pub fn every_round_made_progress(&self) -> bool {
+        self.records.iter().all(|r| r.newly_occupied >= 1)
+    }
+
+    /// Renders the records as CSV (`round,occupied_before,occupied_after,
+    /// newly_occupied,moves,crashes,max_memory_bits`) for external
+    /// plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "round,occupied_before,occupied_after,newly_occupied,moves,crashes,max_memory_bits\n",
+        );
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                r.round,
+                r.occupied_before,
+                r.occupied_after,
+                r.newly_occupied,
+                r.moves,
+                r.crashed.len(),
+                r.max_memory_bits
+            ));
+        }
+        out
+    }
+
+    /// Whether the occupied-node count never shrank round-over-round
+    /// (occupied nodes stay occupied — part of the Lemma 7 argument).
+    /// Crashes may legitimately shrink it; callers pass the number of
+    /// crashes they tolerate per round.
+    pub fn occupied_monotone(&self) -> bool {
+        self.records
+            .iter()
+            .all(|r| r.occupied_after + r.crashed.len() >= r.occupied_before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(round: u64, before: usize, after: usize, newly: usize) -> RoundRecord {
+        RoundRecord {
+            round,
+            occupied_before: before,
+            occupied_after: after,
+            newly_occupied: newly,
+            moves: 1,
+            crashed: Vec::new(),
+            max_memory_bits: 5,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = ExecutionTrace {
+            records: vec![rec(0, 1, 2, 1), rec(1, 2, 3, 1)],
+            graphs: None,
+        };
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.total_moves(), 2);
+        assert_eq!(t.max_memory_bits(), 5);
+        assert!(t.every_round_made_progress());
+        assert!(t.occupied_monotone());
+    }
+
+    #[test]
+    fn progress_violation_detected() {
+        let t = ExecutionTrace {
+            records: vec![rec(0, 1, 1, 0)],
+            graphs: None,
+        };
+        assert!(!t.every_round_made_progress());
+    }
+
+    #[test]
+    fn csv_renders_header_and_rows() {
+        let t = ExecutionTrace {
+            records: vec![rec(0, 1, 2, 1)],
+            graphs: None,
+        };
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "round,occupied_before,occupied_after,newly_occupied,moves,crashes,max_memory_bits"
+        );
+        assert_eq!(lines.next().unwrap(), "0,1,2,1,1,0,5");
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = ExecutionTrace::default();
+        assert_eq!(t.rounds(), 0);
+        assert_eq!(t.max_memory_bits(), 0);
+        assert!(t.every_round_made_progress());
+    }
+}

@@ -1,0 +1,271 @@
+//! Per-robot round views: everything a robot may legally observe during
+//! the Communicate phase of one CCM round.
+
+use dispersion_graph::{Port, PortLabeledGraph};
+
+use crate::packet::build_packets;
+use crate::{CommModel, Configuration, InfoPacket, ModelSpec, RobotId};
+
+/// What a robot senses about one adjacent node under 1-neighborhood
+/// knowledge: the robots there (possibly none).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NeighborObservation {
+    /// The port of the robot's node leading to this neighbor.
+    pub port: Port,
+    /// Robot IDs on the neighbor node, ascending; empty if the node is
+    /// empty.
+    pub robots: Vec<RobotId>,
+}
+
+impl NeighborObservation {
+    /// Whether the observed neighbor node is occupied.
+    pub fn occupied(&self) -> bool {
+        !self.robots.is_empty()
+    }
+}
+
+/// The complete legal observation of one robot in one round.
+///
+/// A view never contains a [`dispersion_graph::NodeId`]: nodes are
+/// anonymous, and everything is expressed through ports and robot IDs.
+/// Algorithms consume views and nothing else, which keeps them honest with
+/// respect to the model — and makes them pure functions the adversary's
+/// move oracle can evaluate speculatively.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RobotView {
+    /// Current round number.
+    pub round: u64,
+    /// The observing robot.
+    pub me: RobotId,
+    /// Total number of robots `k` (IDs are `1..=k`; known a priori).
+    pub k: usize,
+    /// Degree `δ_r` of the robot's current node: its ports are
+    /// `1..=degree`.
+    pub degree: usize,
+    /// The port through which the robot entered its current node during the
+    /// previous round's Move phase, if it moved. Port numbers refer to the
+    /// *previous* round's graph and may be stale under dynamics.
+    pub arrival_port: Option<Port>,
+    /// All robots co-located with the observer (including itself),
+    /// ascending.
+    pub colocated: Vec<RobotId>,
+    /// Per-port neighbor occupancy, present only under 1-neighborhood
+    /// knowledge; one entry per port `1..=degree`, in port order.
+    pub neighbors: Option<Vec<NeighborObservation>>,
+    /// Information packets received in the Communicate phase: all occupied
+    /// nodes' packets under global communication, only the own node's
+    /// packet under local communication.
+    pub packets: Vec<InfoPacket>,
+}
+
+impl RobotView {
+    /// Ports of the robot's node leading to *empty* neighbors, ascending.
+    /// Requires 1-neighborhood knowledge; `None` otherwise.
+    pub fn empty_ports(&self) -> Option<Vec<Port>> {
+        self.neighbors.as_ref().map(|obs| {
+            obs.iter()
+                .filter(|o| !o.occupied())
+                .map(|o| o.port)
+                .collect()
+        })
+    }
+
+    /// The packet describing the robot's own node.
+    pub fn own_packet(&self) -> &InfoPacket {
+        let mine = self
+            .colocated
+            .first()
+            .expect("observer is always colocated with itself");
+        self.packets
+            .iter()
+            .find(|p| p.sender == *mine)
+            .expect("own node always broadcasts a packet")
+    }
+
+    /// Multiplicity of the robot's own node.
+    pub fn own_count(&self) -> usize {
+        self.colocated.len()
+    }
+}
+
+/// Builds the view of a single robot standing on node `node_of(me)`.
+///
+/// `packets` must be the full packet list of the round (from
+/// [`build_packets`] with the model's neighborhood flag); the function
+/// restricts it for local communication.
+///
+/// # Panics
+///
+/// Panics if `me` is not live in `config`.
+#[allow(clippy::too_many_arguments)] // low-level constructor mirroring the round inputs
+pub fn build_view(
+    g: &PortLabeledGraph,
+    config: &Configuration,
+    model: ModelSpec,
+    round: u64,
+    k: usize,
+    me: RobotId,
+    arrival_port: Option<Port>,
+    packets: &[InfoPacket],
+) -> RobotView {
+    let v = config.node_of(me).expect("robot must be live");
+    let colocated = config.robots_at(v);
+    let degree = g.degree(v);
+    let neighbors = model.neighborhood.then(|| {
+        g.neighbors(v)
+            .map(|(port, w, _)| NeighborObservation {
+                port,
+                robots: config.robots_at(w),
+            })
+            .collect()
+    });
+    let own_sender = colocated[0];
+    let packets = match model.comm {
+        CommModel::Global => packets.to_vec(),
+        CommModel::Local => packets
+            .iter()
+            .filter(|p| p.sender == own_sender)
+            .cloned()
+            .collect(),
+    };
+    RobotView {
+        round,
+        me,
+        k,
+        degree,
+        arrival_port,
+        colocated,
+        neighbors,
+        packets,
+    }
+}
+
+/// Builds the views of all live robots for one round. `arrival_port_of`
+/// maps a robot to the port it used to enter its node (if it moved last
+/// round). Views are returned in robot-ID order.
+pub fn build_views(
+    g: &PortLabeledGraph,
+    config: &Configuration,
+    model: ModelSpec,
+    round: u64,
+    k: usize,
+    arrival_port_of: &dyn Fn(RobotId) -> Option<Port>,
+) -> Vec<(RobotId, RobotView)> {
+    let packets = build_packets(g, config, model.neighborhood);
+    config
+        .iter()
+        .map(|(r, _)| {
+            (
+                r,
+                build_view(g, config, model, round, k, r, arrival_port_of(r), &packets),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dispersion_graph::{generators, NodeId};
+
+    fn r(i: u32) -> RobotId {
+        RobotId::new(i)
+    }
+    fn v(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample() -> (PortLabeledGraph, Configuration) {
+        // Path 0-1-2-3; robots {1,3} on node 1, {2} on node 2.
+        let g = generators::path(4).unwrap();
+        let c = Configuration::from_pairs(4, [(r(1), v(1)), (r(3), v(1)), (r(2), v(2))]);
+        (g, c)
+    }
+
+    #[test]
+    fn global_view_sees_all_packets() {
+        let (g, c) = sample();
+        let views = build_views(
+            &g,
+            &c,
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            0,
+            3,
+            &|_| None,
+        );
+        assert_eq!(views.len(), 3);
+        let (_, view1) = &views[0];
+        assert_eq!(view1.me, r(1));
+        assert_eq!(view1.packets.len(), 2);
+        assert_eq!(view1.colocated, vec![r(1), r(3)]);
+        assert_eq!(view1.own_count(), 2);
+        assert_eq!(view1.own_packet().sender, r(1));
+    }
+
+    #[test]
+    fn local_view_sees_only_own_packet() {
+        let (g, c) = sample();
+        let views = build_views(
+            &g,
+            &c,
+            ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
+            0,
+            3,
+            &|_| None,
+        );
+        for (_, view) in &views {
+            assert_eq!(view.packets.len(), 1);
+            assert_eq!(view.packets[0].sender, view.colocated[0]);
+        }
+    }
+
+    #[test]
+    fn neighborhood_observations_in_port_order() {
+        let (g, c) = sample();
+        let views = build_views(
+            &g,
+            &c,
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            0,
+            3,
+            &|_| None,
+        );
+        // Robot 2 is on node 2 (degree 2): neighbor via port 1 is node 1
+        // (occupied by {1,3}), via port 2 is node 3 (empty).
+        let (_, view2) = views.iter().find(|(id, _)| *id == r(2)).unwrap();
+        let obs = view2.neighbors.as_ref().unwrap();
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0].robots, vec![r(1), r(3)]);
+        assert!(obs[0].occupied());
+        assert!(!obs[1].occupied());
+        assert_eq!(view2.empty_ports().unwrap(), vec![obs[1].port]);
+    }
+
+    #[test]
+    fn blind_view_has_no_neighbors() {
+        let (g, c) = sample();
+        let views = build_views(&g, &c, ModelSpec::GLOBAL_BLIND, 0, 3, &|_| None);
+        for (_, view) in &views {
+            assert!(view.neighbors.is_none());
+            assert!(view.empty_ports().is_none());
+        }
+    }
+
+    #[test]
+    fn arrival_ports_threaded_through() {
+        let (g, c) = sample();
+        let views = build_views(
+            &g,
+            &c,
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            5,
+            3,
+            &|id| (id == r(2)).then(|| Port::new(1)),
+        );
+        let (_, view2) = views.iter().find(|(id, _)| *id == r(2)).unwrap();
+        assert_eq!(view2.arrival_port, Some(Port::new(1)));
+        assert_eq!(view2.round, 5);
+        let (_, view1) = &views[0];
+        assert_eq!(view1.arrival_port, None);
+    }
+}

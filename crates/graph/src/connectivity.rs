@@ -1,0 +1,208 @@
+//! Connectivity queries: union-find, connectedness, components of node
+//! subsets.
+//!
+//! The 1-interval connected dynamic graph model requires every `G_r` to be
+//! connected; adversaries use [`is_connected`] to validate candidate
+//! topologies, and the test suite uses [`components_of`] as an independent
+//! reference for the robots' component construction (Algorithm 1).
+
+use crate::{NodeId, PortLabeledGraph};
+
+/// A union-find (disjoint-set) structure over `n` elements with path
+/// compression and union by rank.
+#[derive(Clone, Debug)]
+pub struct DisjointSets {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of distinct sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Finds the representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Whether the whole graph is connected.
+///
+/// A single-node graph is connected; the model guarantees `n ≥ 1`.
+pub fn is_connected(g: &PortLabeledGraph) -> bool {
+    let n = g.node_count();
+    let mut ds = DisjointSets::new(n);
+    for e in g.edges() {
+        ds.union(e.u.index(), e.v.index());
+    }
+    ds.set_count() == 1
+}
+
+/// Connected components of the subgraph of `g` induced by `members`
+/// (`members[v] == true` means `v` participates).
+///
+/// This is the *component graph* `CG_r` of Definition 2 when `members` is
+/// the occupied-node indicator. Components are returned sorted by their
+/// minimum node id, each component's nodes sorted ascending.
+pub fn components_of(g: &PortLabeledGraph, members: &[bool]) -> Vec<Vec<NodeId>> {
+    assert_eq!(members.len(), g.node_count(), "indicator length mismatch");
+    let n = g.node_count();
+    let mut ds = DisjointSets::new(n);
+    for e in g.edges() {
+        if members[e.u.index()] && members[e.v.index()] {
+            ds.union(e.u.index(), e.v.index());
+        }
+    }
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    let mut root_of: Vec<Option<usize>> = vec![None; n];
+    for (v, &is_member) in members.iter().enumerate() {
+        if !is_member {
+            continue;
+        }
+        let r = ds.find(v);
+        let gi = match root_of[r] {
+            Some(gi) => gi,
+            None => {
+                groups.push(Vec::new());
+                root_of[r] = Some(groups.len() - 1);
+                groups.len() - 1
+            }
+        };
+        groups[gi].push(NodeId::new(v as u32));
+    }
+    groups.sort_by_key(|c| c[0]);
+    groups
+}
+
+/// Connected components of the whole graph.
+pub fn components(g: &PortLabeledGraph) -> Vec<Vec<NodeId>> {
+    components_of(g, &vec![true; g.node_count()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn union_find_basics() {
+        let mut ds = DisjointSets::new(5);
+        assert_eq!(ds.set_count(), 5);
+        assert!(ds.union(0, 1));
+        assert!(!ds.union(1, 0));
+        assert!(ds.union(2, 3));
+        assert!(ds.same_set(0, 1));
+        assert!(!ds.same_set(0, 2));
+        assert_eq!(ds.set_count(), 3);
+        ds.union(1, 3);
+        assert!(ds.same_set(0, 2));
+        assert_eq!(ds.set_count(), 2);
+        assert_eq!(ds.len(), 5);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn path_is_connected() {
+        let g = generators::path(5).unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn single_node_is_connected() {
+        let g = generators::path(1).unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        // Two disjoint edges in a 4-node graph.
+        let mut b = crate::GraphBuilder::new(4);
+        b.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        b.add_edge(NodeId::new(2), NodeId::new(3)).unwrap();
+        let g = b.build().unwrap();
+        assert!(!is_connected(&g));
+        let comps = components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![NodeId::new(0), NodeId::new(1)]);
+    }
+
+    #[test]
+    fn induced_components_split_on_gap() {
+        // Path 0-1-2-3-4 with members {0,1,3,4}: two components.
+        let g = generators::path(5).unwrap();
+        let members = vec![true, true, false, true, true];
+        let comps = components_of(&g, &members);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(comps[1], vec![NodeId::new(3), NodeId::new(4)]);
+    }
+
+    #[test]
+    fn induced_components_empty_membership() {
+        let g = generators::path(3).unwrap();
+        assert!(components_of(&g, &[false, false, false]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "indicator length mismatch")]
+    fn induced_components_length_checked() {
+        let g = generators::path(3).unwrap();
+        let _ = components_of(&g, &[true]);
+    }
+}

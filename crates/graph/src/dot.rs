@@ -1,0 +1,79 @@
+//! Graphviz DOT export for port-labeled graphs.
+//!
+//! Handy for eyeballing adversary constructions: the two ports of every
+//! edge are rendered as `taillabel`/`headlabel`, and an optional
+//! per-node annotation (robot IDs, occupancy) can be attached.
+
+use std::fmt::Write as _;
+
+use crate::{NodeId, PortLabeledGraph};
+
+/// Renders the graph as an undirected Graphviz document. `label_of`
+/// supplies an extra line for each node's label (return an empty string
+/// for none).
+pub fn to_dot(g: &PortLabeledGraph, label_of: &dyn Fn(NodeId) -> String) -> String {
+    let mut out = String::from("graph G {\n  node [shape=circle];\n");
+    for v in g.nodes() {
+        let extra = label_of(v);
+        if extra.is_empty() {
+            let _ = writeln!(out, "  {} [label=\"{}\"];", v.index(), v);
+        } else {
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{}\\n{}\"];",
+                v.index(),
+                v,
+                extra.escape_default()
+            );
+        }
+    }
+    for e in g.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -- {} [taillabel=\"{}\", headlabel=\"{}\"];",
+            e.u.index(),
+            e.v.index(),
+            e.port_u.get(),
+            e.port_v.get()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// [`to_dot`] without node annotations.
+pub fn to_dot_plain(g: &PortLabeledGraph) -> String {
+    to_dot(g, &|_| String::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn renders_nodes_edges_and_ports() {
+        let g = generators::path(3).unwrap();
+        let dot = to_dot_plain(&g);
+        assert!(dot.starts_with("graph G {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("0 -- 1"));
+        assert!(dot.contains("1 -- 2"));
+        assert!(dot.contains("taillabel=\"1\""));
+        assert_eq!(dot.matches(" -- ").count(), 2);
+    }
+
+    #[test]
+    fn annotations_appear() {
+        let g = generators::path(2).unwrap();
+        let dot = to_dot(&g, &|v| {
+            if v.index() == 0 {
+                "robots: 1,2".to_string()
+            } else {
+                String::new()
+            }
+        });
+        assert!(dot.contains("robots: 1,2"));
+        assert!(dot.contains("label=\"n1\""));
+    }
+}

@@ -1,0 +1,301 @@
+//! The port-labeled anonymous graph type.
+
+use std::fmt;
+
+use crate::{GraphError, NodeId, Port};
+
+/// A reference to one undirected edge, canonical form (`u < v`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeRef {
+    /// The smaller endpoint.
+    pub u: NodeId,
+    /// The larger endpoint.
+    pub v: NodeId,
+    /// The port at `u` leading to `v`.
+    pub port_u: Port,
+    /// The port at `v` leading to `u`.
+    pub port_v: Port,
+}
+
+/// An anonymous, undirected, port-labeled graph `G_r = (V, E_r)` as defined
+/// in Section II of the paper.
+///
+/// * Nodes are addressed by simulator-side [`NodeId`]s that algorithms never
+///   observe.
+/// * Each node `v` labels its incident edges with distinct ports
+///   `1..=δ(v)`; the two ports of one edge are independent.
+/// * No self-loops, no parallel edges.
+///
+/// The structure is immutable once built; dynamic graphs are sequences of
+/// `PortLabeledGraph`s (see [`crate::dynamics::GraphSequence`]).
+#[derive(Clone, PartialEq, Eq)]
+pub struct PortLabeledGraph {
+    /// `adj[v][p-1] = (w, q)`: following port `p` from `v` reaches `w`,
+    /// entering through `w`'s port `q`.
+    adj: Vec<Vec<(NodeId, Port)>>,
+    /// Number of undirected edges.
+    m: usize,
+}
+
+impl PortLabeledGraph {
+    /// Builds a graph directly from a per-node adjacency table where
+    /// `adj[v][p-1]` is the endpoint reached through port `p` of `v`,
+    /// together with the entry port used at that endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table is empty, refers to nodes out of range,
+    /// contains self-loops or parallel edges, or if the reverse-port
+    /// cross-references are inconsistent.
+    pub fn from_adjacency(adj: Vec<Vec<(NodeId, Port)>>) -> Result<Self, GraphError> {
+        let n = adj.len();
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut m = 0usize;
+        for (vi, row) in adj.iter().enumerate() {
+            let v = NodeId::new(vi as u32);
+            let mut seen = vec![false; n];
+            for (pi, &(w, q)) in row.iter().enumerate() {
+                if w.index() >= n {
+                    return Err(GraphError::NodeOutOfRange { node: w, n });
+                }
+                if w.index() == vi {
+                    return Err(GraphError::SelfLoop { node: v });
+                }
+                if seen[w.index()] {
+                    return Err(GraphError::DuplicateEdge { u: v, v: w });
+                }
+                seen[w.index()] = true;
+                // Cross-reference: following q from w must come back to v
+                // through p.
+                let back = adj
+                    .get(w.index())
+                    .and_then(|r| r.get(q.index()))
+                    .copied();
+                match back {
+                    Some((back_node, back_port))
+                        if back_node == v && back_port.index() == pi => {}
+                    _ => {
+                        return Err(GraphError::NonContiguousPorts {
+                            node: w,
+                            degree: adj[w.index()].len(),
+                        })
+                    }
+                }
+                if vi < w.index() {
+                    m += 1;
+                }
+            }
+        }
+        Ok(PortLabeledGraph { adj, m })
+    }
+
+    /// Number of nodes `n`.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges `m_r`.
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// Iterator over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId::new)
+    }
+
+    /// Degree `δ_r(v)` of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Follows port `p` out of node `v`: returns the neighbor reached and
+    /// the entry port at that neighbor, or `None` if `p > δ(v)`.
+    pub fn neighbor_via(&self, v: NodeId, p: Port) -> Option<(NodeId, Port)> {
+        self.adj[v.index()].get(p.index()).copied()
+    }
+
+    /// Iterator over the neighbors of `v` as `(port at v, neighbor, port at
+    /// neighbor)`, in increasing port order.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (Port, NodeId, Port)> + '_ {
+        self.adj[v.index()]
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, q))| (Port::from_index(i), w, q))
+    }
+
+    /// The port at `u` leading to `v`, if the edge `(u, v)` exists.
+    pub fn port_to(&self, u: NodeId, v: NodeId) -> Option<Port> {
+        self.adj[u.index()]
+            .iter()
+            .position(|&(w, _)| w == v)
+            .map(Port::from_index)
+    }
+
+    /// Whether the undirected edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.port_to(u, v).is_some()
+    }
+
+    /// Iterator over all undirected edges in canonical (`u < v`) form.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.adj.iter().enumerate().flat_map(move |(vi, row)| {
+            let u = NodeId::new(vi as u32);
+            row.iter()
+                .enumerate()
+                .filter(move |(_, &(w, _))| vi < w.index())
+                .map(move |(pi, &(w, q))| EdgeRef {
+                    u,
+                    v: w,
+                    port_u: Port::from_index(pi),
+                    port_v: q,
+                })
+        })
+    }
+
+    /// Maximum degree `Δ_r` of the graph.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Checks every model invariant (port contiguity, reverse-port
+    /// consistency, no loops/parallels). Intended for tests and for
+    /// validating adversary-produced graphs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        Self::from_adjacency(self.adj.clone()).map(|_| ())
+    }
+}
+
+impl fmt::Debug for PortLabeledGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PortLabeledGraph(n={}, m={})",
+            self.node_count(),
+            self.edge_count()
+        )?;
+        if f.alternate() {
+            for e in self.edges() {
+                write!(
+                    f,
+                    "\n  {} --{}/{}-- {}",
+                    e.u, e.port_u, e.port_v, e.v
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> PortLabeledGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        b.add_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+        b.add_edge(NodeId::new(2), NodeId::new(0)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.max_degree(), 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn ports_route_back() {
+        let g = triangle();
+        for v in g.nodes() {
+            for (p, w, q) in g.neighbors(v) {
+                let (back, back_port) = g.neighbor_via(w, q).unwrap();
+                assert_eq!(back, v);
+                assert_eq!(back_port, p);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_via_out_of_range_is_none() {
+        let g = triangle();
+        assert!(g.neighbor_via(NodeId::new(0), Port::new(3)).is_none());
+    }
+
+    #[test]
+    fn edges_are_canonical() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for e in &edges {
+            assert!(e.u < e.v);
+            assert_eq!(g.port_to(e.u, e.v), Some(e.port_u));
+            assert_eq!(g.port_to(e.v, e.u), Some(e.port_v));
+        }
+    }
+
+    #[test]
+    fn has_edge_and_port_to() {
+        let g = triangle();
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(g.port_to(NodeId::new(0), NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        triangle().validate().unwrap();
+    }
+
+    #[test]
+    fn from_adjacency_rejects_empty() {
+        assert_eq!(
+            PortLabeledGraph::from_adjacency(vec![]).unwrap_err(),
+            GraphError::Empty
+        );
+    }
+
+    #[test]
+    fn from_adjacency_rejects_self_loop() {
+        let adj = vec![vec![(NodeId::new(0), Port::new(1))]];
+        assert!(matches!(
+            PortLabeledGraph::from_adjacency(adj).unwrap_err(),
+            GraphError::SelfLoop { .. }
+        ));
+    }
+
+    #[test]
+    fn from_adjacency_rejects_bad_backref() {
+        // 0 -> 1 via port 1, but 1's port 1 points to a wrong port at 0.
+        let adj = vec![
+            vec![(NodeId::new(1), Port::new(1))],
+            vec![(NodeId::new(0), Port::new(2))],
+        ];
+        assert!(PortLabeledGraph::from_adjacency(adj).is_err());
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let g = triangle();
+        let s = format!("{g:?}");
+        assert!(s.contains("n=3"));
+        let alt = format!("{g:#?}");
+        assert!(alt.contains("--"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Anonymous port-labeled graph substrate for mobile-robot dispersion on
+//! dynamic graphs.
+//!
+//! This crate implements the graph model of Kshemkalyani, Molla and Sharma,
+//! *Efficient Dispersion of Mobile Robots on Dynamic Graphs* (ICDCS 2020),
+//! Section II:
+//!
+//! * graphs are **anonymous** — nodes carry no identifiers that an algorithm
+//!   may read; the [`NodeId`] type exists only on the simulator side,
+//! * every edge endpoint carries a **port label** in `[1, δ(v)]`, unique per
+//!   node, with *no correlation* between the two ports of an edge,
+//! * the graph is undirected, unweighted and connected.
+//!
+//! The central type is [`PortLabeledGraph`]; graphs are constructed through
+//! [`GraphBuilder`] (which enforces the port-labeling invariants) or through
+//! the shape constructors in [`generators`]. Dynamic graphs — sequences
+//! `⟨G_0, G_1, …⟩` over a fixed vertex set — are captured by
+//! [`dynamics::GraphSequence`] together with the dynamic-degree and
+//! dynamic-diameter accounting of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use dispersion_graph::{GraphBuilder, NodeId};
+//!
+//! # fn main() -> Result<(), dispersion_graph::GraphError> {
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(NodeId::new(0), NodeId::new(1))?;
+//! b.add_edge(NodeId::new(1), NodeId::new(2))?;
+//! let g = b.build()?;
+//! assert_eq!(g.degree(NodeId::new(1)), 2);
+//! assert!(dispersion_graph::connectivity::is_connected(&g));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+mod node;
+
+pub mod connectivity;
+pub mod dot;
+pub mod dynamics;
+pub mod generators;
+pub mod metrics;
+pub mod relabel;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{EdgeRef, PortLabeledGraph};
+pub use node::{NodeId, Port};

@@ -1,0 +1,117 @@
+//! Graph metrics: diameter, eccentricity, degree statistics.
+
+use crate::traversal::bfs_distances;
+use crate::{NodeId, PortLabeledGraph};
+
+/// Eccentricity of `v`: the maximum BFS distance from `v` to any node, or
+/// `None` if some node is unreachable.
+pub fn eccentricity(g: &PortLabeledGraph, v: NodeId) -> Option<usize> {
+    let dist = bfs_distances(g, v);
+    let mut ecc = 0usize;
+    for d in dist {
+        ecc = ecc.max(d?);
+    }
+    Some(ecc)
+}
+
+/// Diameter `D_r`: the longest shortest path, or `None` if the graph is
+/// disconnected.
+pub fn diameter(g: &PortLabeledGraph) -> Option<usize> {
+    let mut diam = 0usize;
+    for v in g.nodes() {
+        diam = diam.max(eccentricity(g, v)?);
+    }
+    Some(diam)
+}
+
+/// Per-node degree vector.
+pub fn degrees(g: &PortLabeledGraph) -> Vec<usize> {
+    g.nodes().map(|v| g.degree(v)).collect()
+}
+
+/// Average degree `2m / n`.
+pub fn average_degree(g: &PortLabeledGraph) -> f64 {
+    2.0 * g.edge_count() as f64 / g.node_count() as f64
+}
+
+/// Radius: the minimum eccentricity, or `None` if disconnected.
+pub fn radius(g: &PortLabeledGraph) -> Option<usize> {
+    g.nodes()
+        .map(|v| eccentricity(g, v))
+        .collect::<Option<Vec<_>>>()
+        .and_then(|e| e.into_iter().min())
+}
+
+/// Center: the nodes of minimum eccentricity, ascending; empty if
+/// disconnected.
+pub fn center(g: &PortLabeledGraph) -> Vec<NodeId> {
+    let Some(r) = radius(g) else {
+        return Vec::new();
+    };
+    g.nodes()
+        .filter(|&v| eccentricity(g, v) == Some(r))
+        .collect()
+}
+
+/// Degree histogram: `histogram[d]` counts nodes of degree `d`.
+pub fn degree_histogram(g: &PortLabeledGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_metrics() {
+        let g = generators::path(5).unwrap();
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(eccentricity(&g, NodeId::new(2)), Some(2));
+        assert_eq!(degrees(&g), vec![1, 2, 2, 2, 1]);
+        assert!((average_degree(&g) - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complete_diameter_is_one() {
+        let g = generators::complete(6).unwrap();
+        assert_eq!(diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn single_node_diameter_zero() {
+        let g = generators::path(1).unwrap();
+        assert_eq!(diameter(&g), Some(0));
+    }
+
+    #[test]
+    fn disconnected_diameter_none() {
+        let mut b = crate::GraphBuilder::new(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(diameter(&g), None);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), None);
+        assert_eq!(radius(&g), None);
+        assert!(center(&g).is_empty());
+    }
+
+    #[test]
+    fn radius_and_center_of_path() {
+        let g = generators::path(5).unwrap();
+        assert_eq!(radius(&g), Some(2));
+        assert_eq!(center(&g), vec![NodeId::new(2)]);
+        let g4 = generators::path(4).unwrap();
+        assert_eq!(center(&g4), vec![NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = generators::star(5).unwrap();
+        // Four leaves of degree 1, one hub of degree 4.
+        assert_eq!(degree_histogram(&g), vec![0, 4, 0, 0, 1]);
+    }
+}

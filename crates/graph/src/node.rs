@@ -1,0 +1,127 @@
+//! Simulator-side node identifiers and port labels.
+
+use std::fmt;
+
+/// Simulator-side identity of a graph node.
+///
+/// The graphs of the paper are *anonymous*: algorithms never observe a
+/// `NodeId`. The identifier exists so that the simulator, the adversary and
+/// the test suite can talk about nodes; everything an algorithm sees is
+/// phrased in terms of [`Port`]s and robot identifiers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a zero-based index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the zero-based index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+/// A port label at a node: a value in `[1, δ(v)]`, per Section II of the
+/// paper. Ports of a node are pairwise distinct; the two ports of one edge
+/// (one at each endpoint) are uncorrelated.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Port(u32);
+
+impl Port {
+    /// Creates a port from its 1-based label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is zero; port labels start at 1.
+    pub const fn new(label: u32) -> Self {
+        assert!(label >= 1, "port labels are 1-based");
+        Port(label)
+    }
+
+    /// Returns the 1-based label of this port.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the zero-based index of this port (label − 1), suitable for
+    /// indexing adjacency arrays.
+    pub const fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// Creates a port from a zero-based index.
+    pub const fn from_index(index: usize) -> Self {
+        Port(index as u32 + 1)
+    }
+}
+
+impl fmt::Debug for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::new(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(format!("{v}"), "n7");
+        assert_eq!(format!("{v:?}"), "n7");
+    }
+
+    #[test]
+    fn node_id_ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::from(4u32), NodeId::new(4));
+    }
+
+    #[test]
+    fn port_roundtrip() {
+        let p = Port::new(3);
+        assert_eq!(p.get(), 3);
+        assert_eq!(p.index(), 2);
+        assert_eq!(Port::from_index(2), p);
+        assert_eq!(format!("{p}"), "p3");
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn port_zero_rejected() {
+        let _ = Port::new(0);
+    }
+
+    #[test]
+    fn port_ordering_follows_label() {
+        assert!(Port::new(1) < Port::new(2));
+    }
+}

@@ -1,0 +1,242 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! main algorithm's invariants.
+
+use dispersion_core::{component::ConnectedComponent, DisjointPathSet, SpanningTree};
+use dispersion_core::DispersionDynamic;
+use dispersion_engine::adversary::EdgeChurnNetwork;
+use dispersion_engine::{
+    build_packets, Configuration, ModelSpec, SimOptions, Simulator,
+};
+use dispersion_graph::{connectivity, generators, relabel, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a connected random graph described by (n, extra-edge prob
+/// milli, seed).
+fn graph_params() -> impl Strategy<Value = (usize, f64, u64)> {
+    (2usize..30, 0u32..400, any::<u64>())
+        .prop_map(|(n, millis, seed)| (n, f64::from(millis) / 1000.0, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_graphs_are_valid_and_connected((n, p, seed) in graph_params()) {
+        let g = generators::random_connected(n, p, seed).unwrap();
+        prop_assert!(connectivity::is_connected(&g));
+        prop_assert!(g.validate().is_ok());
+        // Port labels are exactly 1..=degree at every node.
+        for v in g.nodes() {
+            let mut ports: Vec<u32> =
+                g.neighbors(v).map(|(p, _, _)| p.get()).collect();
+            ports.sort_unstable();
+            let expect: Vec<u32> = (1..=g.degree(v) as u32).collect();
+            prop_assert_eq!(ports, expect);
+        }
+    }
+
+    #[test]
+    fn relabeling_preserves_topology((n, p, seed) in graph_params()) {
+        let g = generators::random_connected(n, p, seed).unwrap();
+        let h = relabel::random_relabel(&g, seed ^ 0x5a5a);
+        prop_assert!(h.validate().is_ok());
+        prop_assert_eq!(g.edge_count(), h.edge_count());
+        for e in g.edges() {
+            prop_assert!(h.has_edge(e.u, e.v));
+        }
+    }
+
+    #[test]
+    fn components_agree_with_union_find((n, p, seed) in graph_params()) {
+        let g = generators::random_connected(n, p, seed).unwrap();
+        let k = 1 + (seed as usize % n);
+        let cfg = Configuration::random(n, k, seed, false);
+        let packets = build_packets(&g, &cfg, true);
+        let comps = ConnectedComponent::build_all(&packets);
+        let truth = connectivity::components_of(&g, &cfg.occupied_indicator());
+        prop_assert_eq!(comps.len(), truth.len());
+        let total_nodes: usize = comps.iter().map(ConnectedComponent::len).sum();
+        prop_assert_eq!(total_nodes, cfg.occupied_count());
+        let total_robots: usize = comps.iter().map(ConnectedComponent::robot_count).sum();
+        prop_assert_eq!(total_robots, k);
+    }
+
+    #[test]
+    fn trees_and_paths_hold_invariants((n, p, seed) in graph_params()) {
+        let g = generators::random_connected(n, p, seed).unwrap();
+        let k = 2 + (seed as usize % (n.max(3) - 1)).min(n - 1);
+        let cfg = Configuration::random(n, k.min(n), seed, true);
+        let packets = build_packets(&g, &cfg, true);
+        for comp in ConnectedComponent::build_all(&packets) {
+            comp.check_invariants();
+            if let Some(tree) = SpanningTree::build(&comp) {
+                tree.check_invariants(&comp);
+                let set = DisjointPathSet::build(&comp, &tree);
+                set.check_invariants(&tree);
+                prop_assert!(!set.is_empty(), "Lemma 3");
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm4_disperses_within_k_rounds((n, p, seed) in graph_params()) {
+        let n = n.max(3);
+        let k = 2 + (seed as usize % (n - 1));
+        let mut sim = Simulator::new(
+            DispersionDynamic::new(),
+            EdgeChurnNetwork::new(n, p, seed),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::random(n, k.min(n), seed, true),
+            SimOptions::default(),
+        ).unwrap();
+        let out = sim.run().unwrap();
+        prop_assert!(out.dispersed);
+        prop_assert!(out.rounds <= out.k as u64,
+            "rounds {} > k {}", out.rounds, out.k);
+        prop_assert!(out.trace.every_round_made_progress());
+        prop_assert!(out.trace.occupied_monotone());
+        prop_assert_eq!(
+            out.max_memory_bits(),
+            dispersion_engine::RobotId::bits_for_population(out.k)
+        );
+    }
+
+    #[test]
+    fn robots_never_leave_the_graph((n, p, seed) in graph_params()) {
+        let n = n.max(3);
+        let k = 2 + (seed as usize % (n - 1));
+        let mut sim = Simulator::new(
+            DispersionDynamic::new(),
+            EdgeChurnNetwork::new(n, p, seed),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::random(n, k.min(n), seed, true),
+            SimOptions::default(),
+        ).unwrap();
+        let out = sim.run().unwrap();
+        prop_assert_eq!(out.final_config.robot_count(), out.k);
+        for (_, node) in out.final_config.iter() {
+            prop_assert!(node.index() < n);
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_inputs(n in 1usize..10, u in 0u32..12, w in 0u32..12) {
+        let mut b = GraphBuilder::new(n);
+        let result = b.add_edge(NodeId::new(u), NodeId::new(w));
+        let in_range = (u as usize) < n && (w as usize) < n;
+        if !in_range || u == w {
+            prop_assert!(result.is_err());
+        } else {
+            prop_assert!(result.is_ok());
+            prop_assert!(b.add_edge(NodeId::new(u), NodeId::new(w)).is_err(),
+                "duplicate must be rejected");
+        }
+    }
+
+    #[test]
+    fn bfs_trees_hold_the_same_invariants((n, p, seed) in graph_params()) {
+        let g = generators::random_connected(n, p, seed).unwrap();
+        let k = 2 + (seed as usize % (n.max(3) - 1)).min(n - 1);
+        let cfg = Configuration::random(n, k.min(n), seed, true);
+        let packets = build_packets(&g, &cfg, true);
+        for comp in ConnectedComponent::build_all(&packets) {
+            if let Some(bfs) = SpanningTree::build_bfs(&comp) {
+                bfs.check_invariants(&comp);
+                let dfs = SpanningTree::build(&comp).expect("same multiplicity");
+                prop_assert_eq!(bfs.root(), dfs.root());
+                prop_assert_eq!(bfs.len(), dfs.len());
+                // BFS never yields deeper trees than DFS.
+                let bfs_depth = comp.node_ids().map(|id| bfs.depth(id)).max().unwrap_or(0);
+                let dfs_depth = comp.node_ids().map(|id| dfs.depth(id)).max().unwrap_or(0);
+                prop_assert!(bfs_depth <= dfs_depth);
+                let set = DisjointPathSet::build(&comp, &bfs);
+                set.check_invariants(&bfs);
+                prop_assert!(!set.is_empty(), "Lemma 3 holds for BFS trees too");
+            }
+        }
+    }
+
+    #[test]
+    fn round_computation_consistent((n, p, seed) in graph_params()) {
+        use dispersion_core::RoundComputation;
+        let g = generators::random_connected(n, p, seed).unwrap();
+        let k = 1 + (seed as usize % n);
+        let cfg = Configuration::random(n, k, seed, false);
+        let rc = RoundComputation::compute(&g, &cfg);
+        let total_nodes: usize = rc.components().iter().map(|c| c.component.len()).sum();
+        prop_assert_eq!(total_nodes, cfg.occupied_count());
+        prop_assert_eq!(rc.is_dispersed(), cfg.is_dispersed());
+        prop_assert_eq!(
+            rc.guaranteed_progress(),
+            rc.components().iter().filter(|c| c.has_multiplicity()).count()
+        );
+        // Every robot resolves to exactly one component.
+        for (robot, _) in cfg.iter() {
+            prop_assert!(rc.component_of(robot).is_some());
+        }
+    }
+
+    #[test]
+    fn faulty_runs_never_exceed_k_rounds(
+        seed in any::<u64>(),
+        f in 0usize..6,
+    ) {
+        use dispersion_engine::{CrashPhase, FaultPlan};
+        let (n, k) = (16usize, 11usize);
+        let f = f.min(k);
+        let plan = FaultPlan::random(k, f, 6, CrashPhase::BeforeCommunicate, seed);
+        let mut sim = Simulator::new(
+            DispersionDynamic::new(),
+            EdgeChurnNetwork::new(n, 0.12, seed),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(n, k, NodeId::new(0)),
+            SimOptions::default(),
+        ).unwrap();
+        let out = sim.with_faults(plan).run().unwrap();
+        prop_assert!(out.dispersed);
+        prop_assert!(out.rounds <= k as u64);
+        prop_assert_eq!(out.final_config.robot_count(), k - out.crashes);
+    }
+
+    #[test]
+    fn dynamic_rings_stay_within_k(
+        k in 3usize..16,
+        seed in any::<u64>(),
+        drop_edge in any::<bool>(),
+    ) {
+        use dispersion_engine::adversary::DynamicRingNetwork;
+        let n = k + 2;
+        let mut sim = Simulator::new(
+            DispersionDynamic::new(),
+            DynamicRingNetwork::new(n, drop_edge, seed),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(n, k, NodeId::new(0)),
+            SimOptions::default(),
+        ).unwrap();
+        let out = sim.run().unwrap();
+        prop_assert!(out.dispersed);
+        prop_assert!(out.rounds <= k as u64);
+    }
+
+    #[test]
+    fn star_pair_progress_is_at_most_one(
+        k in 2usize..20,
+        seed in any::<u64>(),
+    ) {
+        use dispersion_engine::adversary::StarPairAdversary;
+        let n = k + 3 + (seed as usize % 4);
+        let mut sim = Simulator::new(
+            DispersionDynamic::new(),
+            StarPairAdversary::new(n),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(n, k, NodeId::new((seed % n as u64) as u32)),
+            SimOptions::default(),
+        ).unwrap();
+        let out = sim.run().unwrap();
+        prop_assert!(out.dispersed);
+        prop_assert_eq!(out.rounds, (k - 1) as u64);
+        for rec in &out.trace.records {
+            prop_assert_eq!(rec.newly_occupied, 1);
+        }
+    }
+}
