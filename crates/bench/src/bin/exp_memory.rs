@@ -1,29 +1,34 @@
 //! The Θ(log k) memory claim of Theorems 4 & 5, measured.
 //!
-//! For each k, runs Algorithm 4 to completion and reports the maximum
-//! persistent bits any robot carried between rounds; the series must
-//! track ⌈log₂ k⌉ exactly. Baselines are included for contrast.
+//! For each k, runs Algorithm 4 to completion over several seeds and
+//! reports the maximum persistent bits any robot carried between rounds
+//! (aggregated through `RunSummary`); the series must track ⌈log₂ k⌉
+//! exactly on every seed. Baselines are included for contrast.
 
 use dispersion_bench::{banner, Table};
 use dispersion_core::baselines::{LocalDfs, RandomWalk};
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::{EdgeChurnNetwork, StaticNetwork};
+use dispersion_engine::stats::RunSummary;
 use dispersion_engine::{
-    Configuration, DispersionAlgorithm, ModelSpec, RobotId, SimOptions, Simulator,
+    Configuration, DispersionAlgorithm, ModelSpec, RobotId, SimOptions, SimOutcome, Simulator,
 };
 use dispersion_graph::{generators, NodeId};
 
-fn measure<A: DispersionAlgorithm>(
+const SEEDS: u64 = 3;
+
+fn one_run<A: DispersionAlgorithm>(
     alg: A,
     model: ModelSpec,
     n: usize,
     k: usize,
     static_graph: bool,
-) -> (u64, usize) {
-    let out = if static_graph {
+    seed: u64,
+) -> SimOutcome {
+    if static_graph {
         Simulator::new(
             alg,
-            StaticNetwork::new(generators::random_connected(n, 0.1, k as u64).unwrap()),
+            StaticNetwork::new(generators::random_connected(n, 0.1, seed).unwrap()),
             model,
             Configuration::rooted(n, k, NodeId::new(0)),
             SimOptions {
@@ -37,7 +42,7 @@ fn measure<A: DispersionAlgorithm>(
     } else {
         Simulator::new(
             alg,
-            EdgeChurnNetwork::new(n, 0.1, k as u64),
+            EdgeChurnNetwork::new(n, 0.1, seed),
             model,
             Configuration::rooted(n, k, NodeId::new(0)),
             SimOptions::default(),
@@ -45,9 +50,14 @@ fn measure<A: DispersionAlgorithm>(
         .expect("k ≤ n")
         .run()
         .expect("valid")
-    };
-    assert!(out.dispersed);
-    (out.rounds, out.max_memory_bits())
+    }
+}
+
+fn measure(mk: impl Fn(u64) -> SimOutcome) -> RunSummary {
+    let outcomes: Vec<SimOutcome> = (0..SEEDS).map(mk).collect();
+    let summary = RunSummary::collect(&outcomes);
+    assert!(summary.all_dispersed);
+    summary
 }
 
 fn main() {
@@ -67,43 +77,52 @@ fn main() {
     for k in [2usize, 4, 8, 16, 32, 64, 128] {
         let n = k + k / 2 + 2;
         let expected = RobotId::bits_for_population(k);
-        let (_, alg4_bits) = measure(
-            DispersionDynamic::new(),
-            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
-            n,
-            k,
-            false,
-        );
-        let (_, dfs_bits) = measure(
-            LocalDfs::new(),
-            ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
-            n,
-            k,
-            true,
-        );
-        let (_, walk_bits) = measure(
-            RandomWalk::new(7),
-            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
-            n,
-            k,
-            true,
-        );
-        assert_eq!(alg4_bits, expected, "k={k}: Θ(log k) violated");
+        let alg4 = measure(|seed| {
+            one_run(
+                DispersionDynamic::new(),
+                ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+                n,
+                k,
+                false,
+                seed.wrapping_add(k as u64),
+            )
+        });
+        let dfs = measure(|seed| {
+            one_run(
+                LocalDfs::new(),
+                ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
+                n,
+                k,
+                true,
+                seed.wrapping_add(k as u64),
+            )
+        });
+        let walk = measure(|seed| {
+            one_run(
+                RandomWalk::new(seed.wrapping_add(7)),
+                ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+                n,
+                k,
+                true,
+                seed.wrapping_add(k as u64),
+            )
+        });
+        assert_eq!(alg4.max_memory_bits, expected, "k={k}: Θ(log k) violated");
         t.row([
             k.to_string(),
             expected.to_string(),
-            alg4_bits.to_string(),
-            dfs_bits.to_string(),
-            walk_bits.to_string(),
+            alg4.max_memory_bits.to_string(),
+            dfs.max_memory_bits.to_string(),
+            walk.max_memory_bits.to_string(),
         ]);
     }
     println!("{t}");
     println!();
     println!(
         "result: Algorithm 4's measured memory equals ⌈log₂ k⌉ for every k\n\
-         (the identifier is the *only* persistent state; components, trees\n\
-         and paths live in per-round temporary memory, as the paper's model\n\
-         allows). The DFS baseline carries its stack (O(k log Δ) bits) and\n\
-         the random walk its 64-bit PRNG state."
+         and every seed (the identifier is the *only* persistent state;\n\
+         components, trees and paths live in per-round temporary memory, as\n\
+         the paper's model allows). The DFS baseline carries its stack\n\
+         (O(k log Δ) bits) and the random walk its 64-bit PRNG state."
     );
 }

@@ -4,16 +4,20 @@
 //! quantity a deployment cares about (battery). Sliding moves every robot
 //! on every active path each round, so Algorithm 4 trades extra moves for
 //! its round optimality; the DFS baseline moves the whole group along
-//! every edge; the random walk wanders.
+//! every edge; the random walk wanders. Each cell aggregates several
+//! seeded instances through `RunSummary` instead of trusting one graph.
 
 use dispersion_bench::{banner, Table};
 use dispersion_core::baselines::{LocalDfs, RandomWalk};
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::StaticNetwork;
+use dispersion_engine::stats::RunSummary;
 use dispersion_engine::{
     Configuration, DispersionAlgorithm, ModelSpec, SimOptions, SimOutcome, Simulator,
 };
 use dispersion_graph::{generators, NodeId};
+
+const SEEDS: u64 = 5;
 
 fn run<A: DispersionAlgorithm>(
     alg: A,
@@ -21,11 +25,12 @@ fn run<A: DispersionAlgorithm>(
     n: usize,
     k: usize,
     sparse: bool,
+    seed: u64,
 ) -> SimOutcome {
     let g = if sparse {
         generators::cycle(n).unwrap()
     } else {
-        generators::random_connected(n, 0.15, k as u64).unwrap()
+        generators::random_connected(n, 0.15, seed).unwrap()
     };
     let mut sim = Simulator::new(
         alg,
@@ -38,9 +43,14 @@ fn run<A: DispersionAlgorithm>(
         },
     )
     .expect("k ≤ n");
-    let out = sim.run().expect("valid run");
-    assert!(out.dispersed);
-    out
+    sim.run().expect("valid run")
+}
+
+fn summarize(mk: impl Fn(u64) -> SimOutcome) -> RunSummary {
+    let outcomes: Vec<SimOutcome> = (0..SEEDS).map(mk).collect();
+    let summary = RunSummary::collect(&outcomes);
+    assert!(summary.all_dispersed);
+    summary
 }
 
 fn main() {
@@ -51,7 +61,7 @@ fn main() {
     );
 
     for (label, sparse) in [("dense random graphs", false), ("sparse cycles", true)] {
-        println!("({label})");
+        println!("({label}, mean over {SEEDS} seeds)");
         let mut t = Table::new([
             "k",
             "alg4 rounds",
@@ -63,31 +73,39 @@ fn main() {
         ]);
         for k in [8usize, 16, 32] {
             let n = k + k / 2;
-            let alg4 = run(
-                DispersionDynamic::new(),
-                ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
-                n,
-                k,
-                sparse,
-            );
-            let dfs = run(LocalDfs::new(), ModelSpec::LOCAL_WITH_NEIGHBORHOOD, n, k, sparse);
-            let walk = run(
-                RandomWalk::new(k as u64),
-                ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
-                n,
-                k,
-                sparse,
-            );
+            let alg4 = summarize(|seed| {
+                run(
+                    DispersionDynamic::new(),
+                    ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+                    n,
+                    k,
+                    sparse,
+                    seed,
+                )
+            });
+            let dfs = summarize(|seed| {
+                run(LocalDfs::new(), ModelSpec::LOCAL_WITH_NEIGHBORHOOD, n, k, sparse, seed)
+            });
+            let walk = summarize(|seed| {
+                run(
+                    RandomWalk::new(seed.wrapping_add(k as u64)),
+                    ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+                    n,
+                    k,
+                    sparse,
+                    seed,
+                )
+            });
             t.row([
                 k.to_string(),
-                alg4.rounds.to_string(),
-                alg4.trace.total_moves().to_string(),
-                dfs.rounds.to_string(),
-                dfs.trace.total_moves().to_string(),
-                walk.rounds.to_string(),
-                walk.trace.total_moves().to_string(),
+                format!("{:.1}", alg4.mean_rounds),
+                format!("{:.1}", alg4.mean_moves),
+                format!("{:.1}", dfs.mean_rounds),
+                format!("{:.1}", dfs.mean_moves),
+                format!("{:.1}", walk.mean_rounds),
+                format!("{:.1}", walk.mean_moves),
             ]);
-            assert!(alg4.rounds <= dfs.rounds);
+            assert!(alg4.mean_rounds <= dfs.mean_rounds);
         }
         println!("{t}");
         println!();

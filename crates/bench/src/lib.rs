@@ -47,61 +47,10 @@ pub fn run_alg4_random<N: DynamicNetwork>(net: N, n: usize, k: usize, seed: u64)
     .expect("experiment inputs are valid")
 }
 
-/// A minimal aligned-text table renderer for experiment output.
-#[derive(Debug)]
-pub struct Table {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with the given column headers.
-    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        Table {
-            header: header.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends one row (must match the header arity).
-    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
-        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
-        self.rows.push(cells);
-    }
-
-    /// Renders with aligned columns.
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
-            }
-        }
-        let fmt_row = |cells: &[String]| -> String {
-            cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
-        };
-        let mut out = fmt_row(&self.header);
-        out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
-        for row in &self.rows {
-            out.push('\n');
-            out.push_str(&fmt_row(row));
-        }
-        out
-    }
-}
-
-impl std::fmt::Display for Table {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.render())
-    }
-}
+/// The shared aligned-text table renderer (lives in `dispersion-lab`,
+/// which also uses it for campaign reports; re-exported here so every
+/// experiment binary keeps one import path).
+pub use dispersion_lab::Table;
 
 /// Prints the standard experiment banner.
 pub fn banner(id: &str, paper_artifact: &str, claim: &str) {
@@ -118,20 +67,10 @@ mod tests {
     use dispersion_engine::adversary::StarPairAdversary;
 
     #[test]
-    fn table_renders_aligned() {
+    fn reexported_table_renders() {
         let mut t = Table::new(["k", "rounds"]);
         t.row(["4", "3"]);
-        t.row(["16", "15"]);
-        let s = t.render();
-        assert!(s.contains("k  rounds"));
-        assert_eq!(s.lines().count(), 4);
-    }
-
-    #[test]
-    #[should_panic(expected = "arity")]
-    fn table_checks_arity() {
-        let mut t = Table::new(["a", "b"]);
-        t.row(["only one"]);
+        assert!(t.render().contains("k  rounds"));
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use dispersion_lab::{AdversaryKind, AlgorithmKind, CampaignSpec, NRule, Placement};
+
 /// Which dynamic network `run` simulates against.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NetworkKind {
@@ -43,7 +45,7 @@ impl NetworkKind {
 }
 
 /// A parsed CLI invocation.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     /// `dispersion run …` — run Algorithm 4.
     Run {
@@ -92,6 +94,20 @@ pub enum Command {
         /// Seeds per cell.
         seeds: u64,
     },
+    /// `dispersion campaign …` — run a full experiment campaign through
+    /// the lab runner, streaming JSONL records to an artifact.
+    Campaign {
+        /// The expanded campaign description.
+        spec: CampaignSpec,
+        /// Worker threads.
+        jobs: usize,
+        /// Embed per-round traces in each record.
+        keep_traces: bool,
+        /// Overwrite any existing artifact instead of resuming it.
+        fresh: bool,
+        /// Artifact directory.
+        out_dir: String,
+    },
     /// `dispersion dot …` — export one round's graph as Graphviz DOT.
     Dot {
         /// Dynamic network to sample.
@@ -130,6 +146,8 @@ pub enum ParseError {
     },
     /// Semantic violation (e.g. k > n).
     Invalid(&'static str),
+    /// A campaign grid that cannot run (message from spec validation).
+    InvalidSpec(String),
 }
 
 impl fmt::Display for ParseError {
@@ -147,6 +165,7 @@ impl fmt::Display for ParseError {
                 expected,
             } => write!(f, "bad value `{value}` for `{flag}` (expected {expected})"),
             ParseError::Invalid(msg) => write!(f, "{msg}"),
+            ParseError::InvalidSpec(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -170,6 +189,25 @@ fn parse_num<T: std::str::FromStr>(
         value: value.into(),
         expected,
     })
+}
+
+/// Parses a comma-separated list with a per-item parser.
+fn parse_list<T>(
+    flag: &str,
+    value: &str,
+    expected: &'static str,
+    item: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<T>, ParseError> {
+    value
+        .split(',')
+        .map(|s| item(s.trim()))
+        .collect::<Option<Vec<T>>>()
+        .filter(|v| !v.is_empty())
+        .ok_or_else(|| ParseError::BadValue {
+            flag: flag.into(),
+            value: value.into(),
+            expected,
+        })
 }
 
 /// Parses the argument list (without the program name).
@@ -247,6 +285,98 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
                 network,
                 max_k,
                 seeds,
+            })
+        }
+        "campaign" => {
+            let mut spec = CampaignSpec::default();
+            let mut jobs = 1usize;
+            let mut keep_traces = false;
+            let mut fresh = false;
+            let mut out_dir = String::from("results");
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--name" => spec.name = take_value(flag, &mut iter)?.to_string(),
+                    "--algorithms" => {
+                        spec.algorithms = parse_list(
+                            flag,
+                            take_value(flag, &mut iter)?,
+                            AlgorithmKind::NAMES,
+                            |s| AlgorithmKind::parse(s).ok(),
+                        )?
+                    }
+                    "--networks" => {
+                        spec.adversaries = parse_list(
+                            flag,
+                            take_value(flag, &mut iter)?,
+                            AdversaryKind::NAMES,
+                            |s| AdversaryKind::parse(s).ok(),
+                        )?
+                    }
+                    "--ks" => {
+                        spec.ks = parse_list(
+                            flag,
+                            take_value(flag, &mut iter)?,
+                            "comma-separated robot counts, e.g. 4,8,16",
+                            |s| s.parse().ok(),
+                        )?
+                    }
+                    "--n-rule" => {
+                        let value = take_value(flag, &mut iter)?;
+                        spec.n_rule = NRule::parse(value).map_err(|_| ParseError::BadValue {
+                            flag: flag.into(),
+                            value: value.into(),
+                            expected: "e.g. `k+5`, `3k/2`, or a literal n like `24`",
+                        })?
+                    }
+                    "--faults" => {
+                        spec.faults = parse_list(
+                            flag,
+                            take_value(flag, &mut iter)?,
+                            "comma-separated fault counts, e.g. 0,1,2",
+                            |s| s.parse().ok(),
+                        )?
+                    }
+                    "--seeds" => {
+                        spec.seeds =
+                            parse_num(flag, take_value(flag, &mut iter)?, "a seed count")?
+                    }
+                    "--campaign-seed" => {
+                        spec.campaign_seed =
+                            parse_num(flag, take_value(flag, &mut iter)?, "an integer seed")?
+                    }
+                    "--placement" => {
+                        let value = take_value(flag, &mut iter)?;
+                        spec.placement =
+                            Placement::parse(value).map_err(|_| ParseError::BadValue {
+                                flag: flag.into(),
+                                value: value.into(),
+                                expected: "rooted | scattered | near-dispersed",
+                            })?
+                    }
+                    "--max-rounds" => {
+                        spec.max_rounds =
+                            parse_num(flag, take_value(flag, &mut iter)?, "a round cap")?
+                    }
+                    "--edge-prob" => {
+                        spec.edge_prob =
+                            parse_num(flag, take_value(flag, &mut iter)?, "a probability in [0, 1]")?
+                    }
+                    "--jobs" => {
+                        jobs = parse_num(flag, take_value(flag, &mut iter)?, "a worker count")?
+                    }
+                    "--out" => out_dir = take_value(flag, &mut iter)?.to_string(),
+                    "--keep-traces" => keep_traces = true,
+                    "--fresh" => fresh = true,
+                    other => return Err(ParseError::UnknownFlag(other.into())),
+                }
+            }
+            spec.validate().map_err(ParseError::InvalidSpec)?;
+            Ok(Command::Campaign {
+                spec,
+                jobs: jobs.max(1),
+                keep_traces,
+                fresh,
+                out_dir,
             })
         }
         "trap" => {
@@ -347,6 +477,11 @@ USAGE:
                    [--n N] [--k K] [--seed S] [--faults F] [--scattered] [--watch]
                    [--json]
     dispersion sweep [--network …] [--max-k K] [--seeds S]
+    dispersion campaign [--name NAME] [--algorithms a,b,…] [--networks x,y,…]
+                        [--ks 4,8,16] [--n-rule 3k/2] [--faults 0,1] [--seeds S]
+                        [--campaign-seed S] [--placement rooted|scattered|near-dispersed]
+                        [--max-rounds R] [--edge-prob P] [--jobs J] [--out DIR]
+                        [--fresh] [--keep-traces]
     dispersion trap --theorem 1|2 [--k K] [--rounds R]
     dispersion dot [--network …] [--n N] [--k K] [--seed S]
     dispersion lower-bound [--k K]
@@ -356,6 +491,9 @@ USAGE:
 SUBCOMMANDS:
     run          run Algorithm 4 (global comm + 1-neighborhood knowledge)
     sweep        rounds-vs-k summary table over seeds (min/mean/max)
+    campaign     run a (algorithm × network × k × faults × seed) grid in
+                 parallel, streaming one JSONL record per run to
+                 DIR/NAME.jsonl; reruns resume where the artifact stops
     dot          Graphviz DOT of one adversary round (occupancy annotated)
     trap         run a Theorem 1/2 impossibility trap against its victim
     lower-bound  run the Theorem 3 star-pair adversary (exactly k-1 rounds)
@@ -469,6 +607,103 @@ mod tests {
         assert!(matches!(
             parse(["run", "--frobnicate"]),
             Err(ParseError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn parses_campaign_defaults() {
+        let Command::Campaign { spec, jobs, keep_traces, fresh, out_dir } =
+            parse(["campaign"]).unwrap()
+        else {
+            panic!("expected campaign");
+        };
+        assert_eq!(spec, CampaignSpec::default());
+        assert_eq!(jobs, 1);
+        assert!(!keep_traces && !fresh);
+        assert_eq!(out_dir, "results");
+    }
+
+    #[test]
+    fn parses_campaign_full() {
+        let Command::Campaign { spec, jobs, keep_traces, fresh, out_dir } = parse([
+            "campaign",
+            "--name",
+            "nightly",
+            "--algorithms",
+            "alg4,random-walk",
+            "--networks",
+            "churn,star-pair",
+            "--ks",
+            "4,8",
+            "--n-rule",
+            "k+5",
+            "--faults",
+            "0,1",
+            "--seeds",
+            "3",
+            "--campaign-seed",
+            "99",
+            "--placement",
+            "rooted",
+            "--max-rounds",
+            "5000",
+            "--edge-prob",
+            "0.25",
+            "--jobs",
+            "4",
+            "--out",
+            "artifacts",
+            "--fresh",
+            "--keep-traces",
+        ])
+        .unwrap()
+        else {
+            panic!("expected campaign");
+        };
+        assert_eq!(spec.name, "nightly");
+        assert_eq!(
+            spec.algorithms,
+            vec![AlgorithmKind::Alg4, AlgorithmKind::RandomWalk]
+        );
+        assert_eq!(
+            spec.adversaries,
+            vec![AdversaryKind::Churn, AdversaryKind::StarPair]
+        );
+        assert_eq!(spec.ks, vec![4, 8]);
+        assert_eq!(spec.n_rule, NRule::k_plus(5));
+        assert_eq!(spec.faults, vec![0, 1]);
+        assert_eq!(spec.seeds, 3);
+        assert_eq!(spec.campaign_seed, 99);
+        assert_eq!(spec.placement, Placement::Rooted);
+        assert_eq!(spec.max_rounds, 5000);
+        assert!((spec.edge_prob - 0.25).abs() < 1e-12);
+        assert_eq!(jobs, 4);
+        assert!(keep_traces && fresh);
+        assert_eq!(out_dir, "artifacts");
+    }
+
+    #[test]
+    fn rejects_bad_campaign_args() {
+        assert!(matches!(
+            parse(["campaign", "--algorithms", "alg4,mesh"]),
+            Err(ParseError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(["campaign", "--networks", ""]),
+            Err(ParseError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(["campaign", "--n-rule", "q/0"]),
+            Err(ParseError::BadValue { .. })
+        ));
+        // An invalid grid (n < k) fails spec validation at parse time.
+        assert!(matches!(
+            parse(["campaign", "--n-rule", "k/2"]),
+            Err(ParseError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            parse(["campaign", "--seeds", "0"]),
+            Err(ParseError::InvalidSpec(_))
         ));
     }
 

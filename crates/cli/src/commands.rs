@@ -14,16 +14,50 @@ use dispersion_engine::{
 };
 use dispersion_graph::{generators, NodeId};
 
+use dispersion_lab::{artifact_path, run_campaign, CampaignSpec, LabError, RunnerOptions};
+
 use crate::args::{Command, NetworkKind, HELP};
 use crate::render;
+
+/// Anything a command can fail with at execution time.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The simulator rejected or aborted a run (indicates a bug — user
+    /// errors are caught at parse time).
+    Sim(SimError),
+    /// The campaign runner failed (artifact I/O, spec mismatch).
+    Lab(LabError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Sim(e) => write!(f, "simulation error: {e}"),
+            ExecError::Lab(e) => write!(f, "campaign error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<SimError> for ExecError {
+    fn from(e: SimError) -> Self {
+        ExecError::Sim(e)
+    }
+}
+
+impl From<LabError> for ExecError {
+    fn from(e: LabError) -> Self {
+        ExecError::Lab(e)
+    }
+}
 
 /// Runs a parsed command, returning its printable output.
 ///
 /// # Errors
 ///
-/// Propagates simulator errors (they indicate a bug, not user error — all
-/// user errors are caught at parse time).
-pub fn execute(cmd: Command) -> Result<String, SimError> {
+/// Propagates simulator and campaign-runner errors.
+pub fn execute(cmd: Command) -> Result<String, ExecError> {
     match cmd {
         Command::Help => Ok(HELP.to_string()),
         Command::Run {
@@ -35,17 +69,54 @@ pub fn execute(cmd: Command) -> Result<String, SimError> {
             scattered,
             watch,
             json,
-        } => run(network, n, k, seed, faults, scattered, watch, json),
+        } => Ok(run(network, n, k, seed, faults, scattered, watch, json)?),
         Command::Sweep {
             network,
             max_k,
             seeds,
-        } => sweep(network, max_k, seeds),
-        Command::Dot { network, n, k, seed } => dot(network, n, k, seed),
-        Command::Trap { theorem, k, rounds } => trap(theorem, k, rounds),
-        Command::LowerBound { k } => lower(k),
-        Command::Memory { max_k } => memory(max_k),
+        } => Ok(sweep(network, max_k, seeds)?),
+        Command::Campaign {
+            spec,
+            jobs,
+            keep_traces,
+            fresh,
+            out_dir,
+        } => campaign(spec, jobs, keep_traces, fresh, out_dir),
+        Command::Dot { network, n, k, seed } => Ok(dot(network, n, k, seed)?),
+        Command::Trap { theorem, k, rounds } => Ok(trap(theorem, k, rounds)?),
+        Command::LowerBound { k } => Ok(lower(k)?),
+        Command::Memory { max_k } => Ok(memory(max_k)?),
     }
+}
+
+fn campaign(
+    spec: CampaignSpec,
+    jobs: usize,
+    keep_traces: bool,
+    fresh: bool,
+    out_dir: String,
+) -> Result<String, ExecError> {
+    let opts = RunnerOptions {
+        jobs,
+        keep_traces,
+        fresh,
+        out_dir: out_dir.into(),
+        quiet: false,
+    };
+    let artifact = artifact_path(&spec, &opts);
+    let report = run_campaign(&spec, &opts)?;
+    Ok(format!(
+        "campaign `{}` (spec {:016x}): {} jobs ({} executed, {} resumed), {} panicked\n\
+         artifact: {}\n\n{}\n",
+        spec.name,
+        spec.spec_hash(),
+        spec.job_count(),
+        report.executed,
+        report.resumed,
+        report.total_panics(),
+        artifact.display(),
+        report.render(),
+    ))
 }
 
 fn make_network(kind: NetworkKind, n: usize, seed: u64) -> Box<dyn DynamicNetwork> {
@@ -435,6 +506,40 @@ mod tests {
             .unwrap();
             assert!(out.contains("dispersed: true"), "{kind:?}: {out}");
         }
+    }
+
+    #[test]
+    fn campaign_command_runs_and_reports() {
+        let out_dir = std::env::temp_dir().join("dispersion-cli-campaign-test");
+        let _ = std::fs::remove_dir_all(&out_dir);
+        let spec = CampaignSpec {
+            name: "cli-smoke".into(),
+            ks: vec![4],
+            seeds: 2,
+            ..CampaignSpec::default()
+        };
+        let out = execute(Command::Campaign {
+            spec: spec.clone(),
+            jobs: 2,
+            keep_traces: false,
+            fresh: true,
+            out_dir: out_dir.display().to_string(),
+        })
+        .unwrap();
+        assert!(out.contains("2 executed, 0 resumed"), "{out}");
+        assert!(out.contains("alg4"), "{out}");
+        assert!(out_dir.join("cli-smoke.jsonl").exists());
+        // Re-running resumes from the artifact: nothing left to execute.
+        let again = execute(Command::Campaign {
+            spec,
+            jobs: 2,
+            keep_traces: false,
+            fresh: false,
+            out_dir: out_dir.display().to_string(),
+        })
+        .unwrap();
+        assert!(again.contains("0 executed, 2 resumed"), "{again}");
+        let _ = std::fs::remove_dir_all(&out_dir);
     }
 
     #[test]

@@ -21,7 +21,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("simulation error: {e}");
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }

@@ -6,6 +6,38 @@
 
 use crate::SimOutcome;
 
+/// The scalar facts of one run that aggregation needs.
+///
+/// Harnesses that cannot (or should not) hold full [`SimOutcome`]s —
+/// e.g. a campaign runner folding thousands of runs, or code that reads
+/// results back from an artifact — build these directly and fold them
+/// with [`RunSummary::from_stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunStats {
+    /// Whether the run dispersed.
+    pub dispersed: bool,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total robot moves over the run.
+    pub moves: u64,
+    /// Maximum persistent memory (bits) any robot carried.
+    pub max_memory_bits: usize,
+    /// Robots crashed during the run.
+    pub crashes: usize,
+}
+
+impl From<&SimOutcome> for RunStats {
+    fn from(o: &SimOutcome) -> Self {
+        RunStats {
+            dispersed: o.dispersed,
+            rounds: o.rounds,
+            moves: o.trace.total_moves() as u64,
+            max_memory_bits: o.max_memory_bits(),
+            crashes: o.crashes,
+        }
+    }
+}
+
 /// Summary of a set of runs of one experimental setting.
 ///
 /// ```
@@ -34,6 +66,10 @@ pub struct RunSummary {
     pub max_rounds: u64,
     /// Mean rounds across runs.
     pub mean_rounds: f64,
+    /// Maximum total moves across runs.
+    pub max_moves: u64,
+    /// Mean total moves across runs.
+    pub mean_moves: f64,
     /// Maximum persistent memory bits across runs.
     pub max_memory_bits: usize,
     /// Total crashes across runs.
@@ -47,21 +83,34 @@ impl RunSummary {
     ///
     /// Panics if `outcomes` is empty.
     pub fn collect<'a>(outcomes: impl IntoIterator<Item = &'a SimOutcome>) -> Self {
+        Self::from_stats(outcomes.into_iter().map(RunStats::from))
+    }
+
+    /// Folds a non-empty set of per-run statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` is empty.
+    pub fn from_stats(stats: impl IntoIterator<Item = RunStats>) -> Self {
         let mut samples = 0usize;
         let mut all_dispersed = true;
         let mut min_rounds = u64::MAX;
         let mut max_rounds = 0u64;
         let mut sum_rounds = 0u64;
+        let mut max_moves = 0u64;
+        let mut sum_moves = 0u64;
         let mut max_memory_bits = 0usize;
         let mut total_crashes = 0usize;
-        for o in outcomes {
+        for s in stats {
             samples += 1;
-            all_dispersed &= o.dispersed;
-            min_rounds = min_rounds.min(o.rounds);
-            max_rounds = max_rounds.max(o.rounds);
-            sum_rounds += o.rounds;
-            max_memory_bits = max_memory_bits.max(o.max_memory_bits());
-            total_crashes += o.crashes;
+            all_dispersed &= s.dispersed;
+            min_rounds = min_rounds.min(s.rounds);
+            max_rounds = max_rounds.max(s.rounds);
+            sum_rounds += s.rounds;
+            max_moves = max_moves.max(s.moves);
+            sum_moves += s.moves;
+            max_memory_bits = max_memory_bits.max(s.max_memory_bits);
+            total_crashes += s.crashes;
         }
         assert!(samples > 0, "cannot summarize zero runs");
         RunSummary {
@@ -70,6 +119,8 @@ impl RunSummary {
             min_rounds,
             max_rounds,
             mean_rounds: sum_rounds as f64 / samples as f64,
+            max_moves,
+            mean_moves: sum_moves as f64 / samples as f64,
             max_memory_bits,
             total_crashes,
         }
@@ -129,6 +180,41 @@ mod tests {
         assert_eq!(s.total_crashes, 3);
         assert!(s.within(7));
         assert!(!s.within(6));
+    }
+
+    #[test]
+    fn single_sample_fold_is_degenerate() {
+        let runs = [outcome(9, true)];
+        let s = RunSummary::collect(&runs);
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.min_rounds, 9);
+        assert_eq!(s.max_rounds, 9);
+        assert!((s.mean_rounds - 9.0).abs() < 1e-9);
+        assert_eq!(s.total_crashes, 1);
+        assert!(s.within(9) && !s.within(8));
+    }
+
+    #[test]
+    fn from_stats_tracks_moves() {
+        let stat = |rounds, moves| RunStats {
+            dispersed: true,
+            rounds,
+            moves,
+            max_memory_bits: 3,
+            crashes: 0,
+        };
+        let s = RunSummary::from_stats([stat(2, 10), stat(4, 30)]);
+        assert_eq!(s.max_moves, 30);
+        assert!((s.mean_moves - 20.0).abs() < 1e-9);
+        assert_eq!(s.max_memory_bits, 3);
+    }
+
+    #[test]
+    fn collect_matches_from_stats() {
+        let runs = [outcome(3, true), outcome(7, false)];
+        let via_outcomes = RunSummary::collect(&runs);
+        let via_stats = RunSummary::from_stats(runs.iter().map(RunStats::from));
+        assert_eq!(via_outcomes, via_stats);
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! One grid cell instance: its parameters, its execution, and the JSONL
+//! record it produces.
+
+use std::time::Instant;
+
+use dispersion_core::baselines::{BlindGlobal, GreedyLocal, LocalDfs, RandomWalk};
+use dispersion_core::{impossibility, DispersionDynamic};
+use dispersion_engine::adversary::{
+    CliqueTrapAdversary, DynamicNetwork, DynamicRingNetwork, EdgeChurnNetwork,
+    MinProgressSampler, PathTrapAdversary, StarPairAdversary, StaticNetwork, TIntervalNetwork,
+};
+use dispersion_engine::{
+    Configuration, CrashPhase, DispersionAlgorithm, FaultPlan, MoveOracle, SimOptions,
+    SimOutcome, Simulator,
+};
+use dispersion_graph::{generators, NodeId, PortLabeledGraph};
+
+use crate::json::{self, JsonObject};
+use crate::spec::{AdversaryKind, AlgorithmKind, CampaignSpec, Placement};
+
+/// One independent unit of work: a single simulator run with fully
+/// pinned parameters. Everything a worker needs is in the job plus the
+/// (shared, read-only) spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunJob {
+    /// Stable index in the campaign grid (resume key, sort key).
+    pub job_id: u64,
+    /// Algorithm under test.
+    pub algorithm: AlgorithmKind,
+    /// Adversary it runs against.
+    pub adversary: AdversaryKind,
+    /// Nodes.
+    pub n: usize,
+    /// Robots.
+    pub k: usize,
+    /// Crash-fault count `f`.
+    pub faults: usize,
+    /// Seed index within the cell (`0..spec.seeds`).
+    pub seed_index: u64,
+    /// RNG seed derived from `(campaign_seed, job_id)`.
+    pub derived_seed: u64,
+}
+
+/// Terminal status of one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The simulator ran to termination (dispersed or round cap).
+    Ok,
+    /// The job panicked; the campaign continued without it.
+    Panic,
+    /// The simulator rejected the run (e.g. an invalid adversary graph).
+    Error,
+}
+
+impl RunStatus {
+    /// Stable record name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Panic => "panic",
+            RunStatus::Error => "error",
+        }
+    }
+
+    /// Parses a record name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ok" => Some(RunStatus::Ok),
+            "panic" => Some(RunStatus::Panic),
+            "error" => Some(RunStatus::Error),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome record of one job — exactly one JSONL line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Grid index of the job.
+    pub job_id: u64,
+    /// Hash of the producing spec.
+    pub spec_hash: u64,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Adversary name.
+    pub adversary: String,
+    /// Nodes.
+    pub n: usize,
+    /// Robots.
+    pub k: usize,
+    /// Crash-fault count.
+    pub faults: usize,
+    /// Seed index within the cell.
+    pub seed_index: u64,
+    /// Derived RNG seed the job ran with.
+    pub seed: u64,
+    /// Terminal status.
+    pub status: RunStatus,
+    /// Whether the live robots dispersed (false for panic/error).
+    pub dispersed: bool,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total robot moves.
+    pub moves: u64,
+    /// Maximum persistent bits any robot carried.
+    pub max_memory_bits: usize,
+    /// Robots crashed by the fault plan.
+    pub crashes: usize,
+    /// Wall-clock execution time (µs). Excluded from determinism
+    /// comparisons — see [`RunRecord::canonical_line`].
+    pub wall_time_us: u64,
+    /// Panic / error message, if any.
+    pub message: Option<String>,
+    /// Pre-rendered per-round trace array (only with `--keep-traces`).
+    pub trace_json: Option<String>,
+}
+
+impl RunRecord {
+    /// Renders the one-line JSON form.
+    pub fn to_json_line(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str_field("type", "run")
+            .u64_field("job_id", self.job_id)
+            .str_field("spec_hash", &format!("{:016x}", self.spec_hash))
+            .str_field("algorithm", &self.algorithm)
+            .str_field("adversary", &self.adversary)
+            .u64_field("n", self.n as u64)
+            .u64_field("k", self.k as u64)
+            .u64_field("faults", self.faults as u64)
+            .u64_field("seed_index", self.seed_index)
+            .u64_field("seed", self.seed)
+            .str_field("status", self.status.name())
+            .bool_field("dispersed", self.dispersed)
+            .u64_field("rounds", self.rounds)
+            .u64_field("moves", self.moves)
+            .u64_field("max_memory_bits", self.max_memory_bits as u64)
+            .u64_field("crashes", self.crashes as u64)
+            .u64_field("wall_time_us", self.wall_time_us);
+        if let Some(m) = &self.message {
+            o.str_field("message", m);
+        }
+        if let Some(t) = &self.trace_json {
+            o.raw_field("trace", t);
+        }
+        o.finish()
+    }
+
+    /// The record with the wall-time field normalized to 0 — the form
+    /// compared by determinism tests (`--jobs 1` vs `--jobs N`).
+    pub fn canonical_line(&self) -> String {
+        RunRecord { wall_time_us: 0, ..self.clone() }.to_json_line()
+    }
+
+    /// Parses a line previously produced by [`RunRecord::to_json_line`].
+    /// Returns `None` for non-run records, truncated lines, or foreign
+    /// documents.
+    pub fn parse_line(line: &str) -> Option<Self> {
+        if !json::is_complete_object(line) || json::str_value(line, "type")? != "run" {
+            return None;
+        }
+        Some(RunRecord {
+            job_id: json::u64_value(line, "job_id")?,
+            spec_hash: u64::from_str_radix(&json::str_value(line, "spec_hash")?, 16).ok()?,
+            algorithm: json::str_value(line, "algorithm")?,
+            adversary: json::str_value(line, "adversary")?,
+            n: json::u64_value(line, "n")? as usize,
+            k: json::u64_value(line, "k")? as usize,
+            faults: json::u64_value(line, "faults")? as usize,
+            seed_index: json::u64_value(line, "seed_index")?,
+            seed: json::u64_value(line, "seed")?,
+            status: RunStatus::parse(&json::str_value(line, "status")?)?,
+            dispersed: json::bool_value(line, "dispersed")?,
+            rounds: json::u64_value(line, "rounds")?,
+            moves: json::u64_value(line, "moves")?,
+            max_memory_bits: json::u64_value(line, "max_memory_bits")? as usize,
+            crashes: json::u64_value(line, "crashes")? as usize,
+            wall_time_us: json::u64_value(line, "wall_time_us")?,
+            message: json::str_value(line, "message"),
+            trace_json: None,
+        })
+    }
+}
+
+/// A dynamic network that panics on its first round — the campaign
+/// runner's own panic-isolation probe.
+struct PanicProbe {
+    n: usize,
+}
+
+impl DynamicNetwork for PanicProbe {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn graph_for_round(
+        &mut self,
+        round: u64,
+        _config: &Configuration,
+        _oracle: &dyn MoveOracle,
+    ) -> PortLabeledGraph {
+        panic!("panic-probe adversary fired at round {round} (by design)");
+    }
+
+    fn name(&self) -> &str {
+        "panic-probe"
+    }
+}
+
+fn make_network(job: &RunJob, spec: &CampaignSpec) -> Box<dyn DynamicNetwork> {
+    let (n, p, seed) = (job.n, spec.edge_prob, job.derived_seed);
+    match job.adversary {
+        AdversaryKind::Churn => Box::new(EdgeChurnNetwork::new(n, p, seed)),
+        AdversaryKind::Static => Box::new(StaticNetwork::new(
+            generators::random_connected(n, p, seed).expect("validated n ≥ 1"),
+        )),
+        AdversaryKind::StaticStar => Box::new(StaticNetwork::new(
+            generators::star(n).expect("validated n ≥ 1"),
+        )),
+        AdversaryKind::StaticCycle => Box::new(StaticNetwork::new(
+            generators::cycle(n.max(3)).expect("n ≥ 3"),
+        )),
+        AdversaryKind::Ring => Box::new(DynamicRingNetwork::new(n.max(3), false, seed)),
+        AdversaryKind::BrokenRing => Box::new(DynamicRingNetwork::new(n.max(3), true, seed)),
+        AdversaryKind::StarPair => Box::new(StarPairAdversary::new(n)),
+        AdversaryKind::TInterval => Box::new(TIntervalNetwork::new(n, 4, p, seed)),
+        AdversaryKind::MinProgress => Box::new(MinProgressSampler::new(n, 8, p, seed)),
+        AdversaryKind::PathTrap => Box::new(PathTrapAdversary::new(n)),
+        AdversaryKind::CliqueTrap => Box::new(CliqueTrapAdversary::new(n)),
+        AdversaryKind::PanicProbe => Box::new(PanicProbe { n }),
+    }
+}
+
+fn initial_config(job: &RunJob, spec: &CampaignSpec) -> Configuration {
+    match spec.placement {
+        Placement::Rooted => Configuration::rooted(job.n, job.k, NodeId::new(0)),
+        Placement::Scattered => Configuration::random(job.n, job.k, job.derived_seed, true),
+        Placement::NearDispersed => impossibility::near_dispersed_config(job.n, job.k),
+    }
+}
+
+fn run_with<A: DispersionAlgorithm>(
+    alg: A,
+    job: &RunJob,
+    spec: &CampaignSpec,
+) -> Result<SimOutcome, dispersion_engine::SimError> {
+    let plan = if job.faults > 0 {
+        FaultPlan::random(
+            job.k,
+            job.faults,
+            (job.k as u64 / 2).max(1),
+            CrashPhase::BeforeCommunicate,
+            job.derived_seed,
+        )
+    } else {
+        FaultPlan::none()
+    };
+    Simulator::new(
+        alg,
+        make_network(job, spec),
+        job.algorithm.model(),
+        initial_config(job, spec),
+        SimOptions {
+            max_rounds: spec.max_rounds,
+            ..SimOptions::default()
+        },
+    )?
+    .with_faults(plan)
+    .run()
+}
+
+fn render_trace(outcome: &SimOutcome) -> String {
+    let rounds: Vec<String> = outcome
+        .trace
+        .records
+        .iter()
+        .map(|rec| {
+            let mut o = JsonObject::new();
+            o.u64_field("round", rec.round)
+                .u64_field("occupied", rec.occupied_after as u64)
+                .u64_field("new", rec.newly_occupied as u64)
+                .u64_field("moves", rec.moves as u64)
+                .u64_field("crashes", rec.crashed.len() as u64);
+            o.finish()
+        })
+        .collect();
+    format!("[{}]", rounds.join(","))
+}
+
+/// Executes one job to a record. Never panics itself; the *body* of the
+/// run may panic (adversary bug, algorithm bug) and is caught by the
+/// runner, not here — this function's own result is infallible.
+pub fn execute(job: &RunJob, spec: &CampaignSpec, keep_traces: bool) -> RunRecord {
+    let base = RunRecord {
+        job_id: job.job_id,
+        spec_hash: spec.spec_hash(),
+        algorithm: job.algorithm.name().into(),
+        adversary: job.adversary.name().into(),
+        n: job.n,
+        k: job.k,
+        faults: job.faults,
+        seed_index: job.seed_index,
+        seed: job.derived_seed,
+        status: RunStatus::Ok,
+        dispersed: false,
+        rounds: 0,
+        moves: 0,
+        max_memory_bits: 0,
+        crashes: 0,
+        wall_time_us: 0,
+        message: None,
+        trace_json: None,
+    };
+    let start = Instant::now();
+    let result = match job.algorithm {
+        AlgorithmKind::Alg4 => run_with(DispersionDynamic::new(), job, spec),
+        AlgorithmKind::LocalDfs => run_with(LocalDfs::new(), job, spec),
+        AlgorithmKind::RandomWalk => run_with(RandomWalk::new(job.derived_seed), job, spec),
+        AlgorithmKind::GreedyLocal => run_with(GreedyLocal::new(), job, spec),
+        AlgorithmKind::BlindGlobal => run_with(BlindGlobal::new(), job, spec),
+    };
+    let wall_time_us = start.elapsed().as_micros() as u64;
+    match result {
+        Ok(outcome) => RunRecord {
+            dispersed: outcome.dispersed,
+            rounds: outcome.rounds,
+            moves: outcome.trace.total_moves() as u64,
+            max_memory_bits: outcome.max_memory_bits(),
+            crashes: outcome.crashes,
+            wall_time_us,
+            trace_json: keep_traces.then(|| render_trace(&outcome)),
+            ..base
+        },
+        Err(e) => RunRecord {
+            status: RunStatus::Error,
+            message: Some(e.to_string()),
+            wall_time_us,
+            ..base
+        },
+    }
+}
+
+/// Builds the record for a job whose execution panicked.
+pub fn panic_record(job: &RunJob, spec: &CampaignSpec, message: String) -> RunRecord {
+    RunRecord {
+        job_id: job.job_id,
+        spec_hash: spec.spec_hash(),
+        algorithm: job.algorithm.name().into(),
+        adversary: job.adversary.name().into(),
+        n: job.n,
+        k: job.k,
+        faults: job.faults,
+        seed_index: job.seed_index,
+        seed: job.derived_seed,
+        status: RunStatus::Panic,
+        dispersed: false,
+        rounds: 0,
+        moves: 0,
+        max_memory_bits: 0,
+        crashes: 0,
+        wall_time_us: 0,
+        message: Some(message),
+        trace_json: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn one_job(algorithm: AlgorithmKind, adversary: AdversaryKind, n: usize, k: usize) -> RunJob {
+        RunJob {
+            job_id: 0,
+            algorithm,
+            adversary,
+            n,
+            k,
+            faults: 0,
+            seed_index: 0,
+            derived_seed: crate::spec::derive_seed(7, 0),
+        }
+    }
+
+    #[test]
+    fn alg4_job_disperses_within_k() {
+        let spec = CampaignSpec::default();
+        let job = one_job(AlgorithmKind::Alg4, AdversaryKind::StarPair, 12, 8);
+        let rec = execute(&job, &spec, false);
+        assert_eq!(rec.status, RunStatus::Ok);
+        assert!(rec.dispersed);
+        assert!(rec.rounds <= 8);
+        assert_eq!(rec.max_memory_bits, 3);
+        assert!(rec.trace_json.is_none());
+    }
+
+    #[test]
+    fn records_round_trip_through_jsonl() {
+        let spec = CampaignSpec::default();
+        let job = one_job(AlgorithmKind::Alg4, AdversaryKind::Churn, 12, 8);
+        let rec = execute(&job, &spec, false);
+        let parsed = RunRecord::parse_line(&rec.to_json_line()).expect("parses");
+        assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn keep_traces_embeds_rounds() {
+        let spec = CampaignSpec::default();
+        let job = one_job(AlgorithmKind::Alg4, AdversaryKind::StarPair, 10, 6);
+        let rec = execute(&job, &spec, true);
+        let trace = rec.trace_json.as_deref().expect("trace kept");
+        assert!(trace.starts_with("[{\"round\":0"), "{trace}");
+        // The trace does not break field extraction on the same line.
+        let line = rec.to_json_line();
+        assert_eq!(crate::json::u64_value(&line, "job_id"), Some(0));
+        assert_eq!(crate::json::str_value(&line, "status").as_deref(), Some("ok"));
+    }
+
+    #[test]
+    fn sim_errors_become_error_records() {
+        // k > n is rejected by the simulator, not by a panic.
+        let spec = CampaignSpec::default();
+        let mut job = one_job(AlgorithmKind::Alg4, AdversaryKind::Churn, 4, 6);
+        job.n = 4;
+        let rec = execute(&job, &spec, false);
+        assert_eq!(rec.status, RunStatus::Error);
+        assert!(rec.message.as_deref().unwrap_or("").contains("robots"));
+    }
+
+    #[test]
+    fn canonical_line_zeroes_wall_time_only() {
+        let spec = CampaignSpec::default();
+        let job = one_job(AlgorithmKind::Alg4, AdversaryKind::StarPair, 10, 6);
+        let a = execute(&job, &spec, false);
+        let canon = a.canonical_line();
+        assert!(canon.contains("\"wall_time_us\":0"));
+        let reparsed = RunRecord::parse_line(&canon).unwrap();
+        assert_eq!(RunRecord { wall_time_us: 0, ..a }, reparsed);
+    }
+}

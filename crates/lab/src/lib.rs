@@ -1,0 +1,81 @@
+//! # dispersion-lab
+//!
+//! A declarative, parallel, resumable experiment-campaign runner for the
+//! dispersion simulator.
+//!
+//! A [`CampaignSpec`] describes a cartesian grid over (algorithm,
+//! adversary, robot count `k`, fault count `f`, seed index). The runner
+//! expands it into independent [`RunJob`]s, shards them across a scoped
+//! worker pool, executes each through `dispersion-engine`, and streams
+//! one JSON-lines record per run into a `results/<name>.jsonl` artifact.
+//!
+//! Design invariants:
+//!
+//! * **Determinism under parallelism** — each job's RNG seed is
+//!   [`derive_seed`]`(campaign_seed, job_id)`, fixed before any worker
+//!   starts, so the artifact's record *set* is identical at `--jobs 1`
+//!   and `--jobs N` (only record order and wall-times differ).
+//! * **Resumability** — on start the runner scans the artifact for
+//!   complete records and only runs the missing `job_id`s; a truncated
+//!   trailing line from an interrupted writer is ignored and re-run.
+//! * **Bounded memory** — workers send scalar records over a channel to
+//!   one writer thread; full execution traces are never retained unless
+//!   explicitly requested per record.
+//! * **Panic isolation** — each job runs under `catch_unwind`; a
+//!   panicking run becomes a `"status":"panic"` record and the campaign
+//!   continues.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use job::{RunJob, RunRecord, RunStatus};
+pub use report::{CampaignReport, CellKey, CellStats, Table};
+pub use runner::{artifact_path, run_campaign, RunnerOptions};
+pub use spec::{derive_seed, AdversaryKind, AlgorithmKind, CampaignSpec, NRule, Placement};
+
+/// Everything that can go wrong running a campaign.
+#[derive(Debug)]
+pub enum LabError {
+    /// The spec itself is not runnable.
+    Spec(String),
+    /// An artifact or directory could not be read/written.
+    Io(String, std::io::Error),
+    /// The artifact on disk was produced by a different spec.
+    SpecMismatch {
+        /// Artifact path.
+        artifact: String,
+        /// Hash recorded in the artifact header.
+        stored: String,
+        /// Hash of the spec being run.
+        expected: String,
+    },
+}
+
+impl std::fmt::Display for LabError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LabError::Spec(msg) => write!(f, "invalid campaign spec: {msg}"),
+            LabError::Io(path, e) => write!(f, "{path}: {e}"),
+            LabError::SpecMismatch { artifact, stored, expected } => write!(
+                f,
+                "{artifact} was produced by a different spec \
+                 (artifact {stored}, current {expected}); \
+                 rename the campaign or pass --fresh"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LabError {}
+
+impl From<String> for LabError {
+    fn from(msg: String) -> Self {
+        LabError::Spec(msg)
+    }
+}

@@ -1,0 +1,247 @@
+//! The campaign executor: sharded workers, one writer, JSONL artifact.
+//!
+//! Workers pull jobs from a shared atomic cursor, execute them under
+//! `catch_unwind`, and send finished [`RunRecord`]s through a channel to
+//! a single writer thread that appends to the artifact and folds the
+//! report — so record writing is serialized and per-run memory stays
+//! bounded no matter how many workers run.
+
+use std::collections::HashSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use crate::job::{self, RunJob, RunRecord};
+use crate::json::{self, JsonObject};
+use crate::report::CampaignReport;
+use crate::spec::CampaignSpec;
+use crate::LabError;
+
+/// How a campaign invocation should run.
+#[derive(Clone, Debug)]
+pub struct RunnerOptions {
+    /// Worker threads (clamped to ≥ 1).
+    pub jobs: usize,
+    /// Embed per-round trace arrays in each record (large!).
+    pub keep_traces: bool,
+    /// Delete any existing artifact instead of resuming it.
+    pub fresh: bool,
+    /// Directory the `<campaign-name>.jsonl` artifact lives in.
+    pub out_dir: PathBuf,
+    /// Suppress the per-job progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            jobs: 1,
+            keep_traces: false,
+            fresh: false,
+            out_dir: PathBuf::from("results"),
+            quiet: true,
+        }
+    }
+}
+
+/// The artifact path a campaign writes to under these options.
+pub fn artifact_path(spec: &CampaignSpec, opts: &RunnerOptions) -> PathBuf {
+    opts.out_dir.join(format!("{}.jsonl", spec.name))
+}
+
+fn header_line(spec: &CampaignSpec) -> String {
+    let mut o = JsonObject::new();
+    o.str_field("type", "campaign")
+        .str_field("name", &spec.name)
+        .str_field("spec_hash", &format!("{:016x}", spec.spec_hash()))
+        .u64_field("jobs", spec.job_count());
+    o.finish()
+}
+
+/// Scans an existing artifact: checks the header's spec hash and returns
+/// the job ids with complete records (any status — a panic record is a
+/// result, not a retry). A truncated trailing line (interrupted writer)
+/// parses as nothing and its job simply re-runs.
+fn scan_artifact(path: &Path, spec: &CampaignSpec) -> Result<HashSet<u64>, LabError> {
+    let file = File::open(path).map_err(|e| LabError::Io(path.display().to_string(), e))?;
+    let mut done = HashSet::new();
+    for line in BufReader::new(file).lines() {
+        let line = line.map_err(|e| LabError::Io(path.display().to_string(), e))?;
+        if !json::is_complete_object(&line) {
+            continue;
+        }
+        match json::str_value(&line, "type").as_deref() {
+            Some("campaign") => {
+                let stored = json::str_value(&line, "spec_hash").unwrap_or_default();
+                let expected = format!("{:016x}", spec.spec_hash());
+                if stored != expected {
+                    return Err(LabError::SpecMismatch {
+                        artifact: path.display().to_string(),
+                        stored,
+                        expected,
+                    });
+                }
+            }
+            Some("run") => {
+                if let Some(rec) = RunRecord::parse_line(&line) {
+                    done.insert(rec.job_id);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(done)
+}
+
+/// Opens the artifact for appending, creating it (with a header record)
+/// when absent, and guaranteeing the file ends on a line boundary so an
+/// interrupted half-line never corrupts the next record.
+fn open_artifact(path: &Path, spec: &CampaignSpec) -> Result<File, LabError> {
+    let io = |e| LabError::Io(path.display().to_string(), e);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir).map_err(|e| LabError::Io(dir.display().to_string(), e))?;
+        }
+    }
+    let fresh = !path.exists();
+    let mut file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(io)?;
+    if fresh {
+        writeln!(file, "{}", header_line(spec)).map_err(io)?;
+    } else {
+        let len = file.seek(SeekFrom::End(0)).map_err(io)?;
+        if len > 0 {
+            let mut tail = File::open(path).map_err(io)?;
+            tail.seek(SeekFrom::Start(len - 1)).map_err(io)?;
+            let mut last = [0u8; 1];
+            std::io::Read::read_exact(&mut tail, &mut last).map_err(io)?;
+            if last[0] != b'\n' {
+                file.write_all(b"\n").map_err(io)?;
+            }
+        }
+    }
+    Ok(file)
+}
+
+/// Runs (or resumes) a campaign and returns the folded report.
+///
+/// Determinism: every job's RNG seed is derived from
+/// `(spec.campaign_seed, job_id)` before any worker starts, so the set
+/// of records in the artifact is identical for any `opts.jobs` — only
+/// record *order* and wall-times vary.
+pub fn run_campaign(spec: &CampaignSpec, opts: &RunnerOptions) -> Result<CampaignReport, LabError> {
+    spec.validate()?;
+    let path = artifact_path(spec, opts);
+    if opts.fresh && path.exists() {
+        fs::remove_file(&path).map_err(|e| LabError::Io(path.display().to_string(), e))?;
+    }
+
+    let mut report = CampaignReport::default();
+    let done: HashSet<u64> = if path.exists() {
+        scan_artifact(&path, spec)?
+    } else {
+        HashSet::new()
+    };
+    let mut file = open_artifact(&path, spec)?;
+
+    let pending: Vec<RunJob> = spec
+        .jobs()
+        .into_iter()
+        .filter(|j| !done.contains(&j.job_id))
+        .collect();
+    report.resumed = done.len();
+    report.executed = pending.len();
+
+    let workers = opts.jobs.max(1).min(pending.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<RunRecord>();
+
+    std::thread::scope(|scope| -> Result<(), LabError> {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (cursor, pending) = (&cursor, &pending);
+            scope.spawn(move || loop {
+                let next = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = pending.get(next) else { break };
+                let rec = panic::catch_unwind(AssertUnwindSafe(|| {
+                    job::execute(job, spec, opts.keep_traces)
+                }))
+                .unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "panic with non-string payload".into());
+                    job::panic_record(job, spec, msg)
+                });
+                if tx.send(rec).is_err() {
+                    break; // writer gone; nothing useful left to do
+                }
+            });
+        }
+        drop(tx); // writer loop below ends once all workers hang up
+
+        let total = pending.len();
+        for (i, rec) in rx.iter().enumerate() {
+            writeln!(file, "{}", rec.to_json_line())
+                .and_then(|()| file.flush())
+                .map_err(|e| LabError::Io(path.display().to_string(), e))?;
+            if !opts.quiet {
+                eprintln!(
+                    "[{}/{}] job {} {} ({} k={} n={}) {}",
+                    i + 1,
+                    total,
+                    rec.job_id,
+                    rec.status.name(),
+                    rec.algorithm,
+                    rec.k,
+                    rec.n,
+                    rec.adversary,
+                );
+            }
+            report.fold(&rec);
+        }
+        Ok(())
+    })?;
+
+    // Fold the resumed-over records back in so the report always covers
+    // the whole grid regardless of where the previous invocation stopped.
+    if !done.is_empty() {
+        let file = File::open(&path).map_err(|e| LabError::Io(path.display().to_string(), e))?;
+        for line in BufReader::new(file).lines() {
+            let line = line.map_err(|e| LabError::Io(path.display().to_string(), e))?;
+            if let Some(rec) = RunRecord::parse_line(&line) {
+                if done.contains(&rec.job_id) {
+                    report.fold(&rec);
+                }
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips_hash() {
+        let spec = CampaignSpec::default();
+        let line = header_line(&spec);
+        assert_eq!(
+            json::str_value(&line, "spec_hash"),
+            Some(format!("{:016x}", spec.spec_hash()))
+        );
+        assert_eq!(
+            json::u64_value(&line, "jobs"),
+            Some(spec.job_count())
+        );
+    }
+}

@@ -185,7 +185,7 @@ proptest! {
         let (n, k) = (16usize, 11usize);
         let f = f.min(k);
         let plan = FaultPlan::random(k, f, 6, CrashPhase::BeforeCommunicate, seed);
-        let mut sim = Simulator::new(
+        let sim = Simulator::new(
             DispersionDynamic::new(),
             EdgeChurnNetwork::new(n, 0.12, seed),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,

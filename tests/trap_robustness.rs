@@ -66,7 +66,7 @@ impl DispersionAlgorithm for BlindVictim {
             BlindRule::RoundRobin => view.round as usize % d,
             BlindRule::IdSpread => (view.round as usize * view.me.get() as usize) % d,
             BlindRule::Lazy => {
-                if view.round % 3 != 0 {
+                if !view.round.is_multiple_of(3) {
                     return (Action::Stay, UnitMemory);
                 }
                 (view.round as usize / 3) % d

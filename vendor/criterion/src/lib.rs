@@ -1,0 +1,212 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate implements the subset the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Statistics are deliberately simple: each benchmark runs a warm-up
+//! iteration plus `sample_size` timed iterations and reports min / mean /
+//! max wall-clock time per iteration. There are no plots, no outlier
+//! analysis, and no saved baselines — enough to compare hot paths
+//! offline, cheap enough that `cargo test` can build-and-run bench
+//! targets without stalling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations when a group does not override it.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `body` once for warm-up, then `sample_size` timed times.
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        black_box(body());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(body());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `body`, handing it `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        body: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id, input, body)
+    }
+
+    /// Benchmarks a body that needs no input.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(
+            BenchmarkId::from_parameter(id),
+            &(),
+            |b: &mut Bencher, (): &()| body(b),
+        )
+    }
+
+    fn run<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        body(&mut bencher, input);
+        let (min, max, total) = bencher.samples.iter().fold(
+            (Duration::MAX, Duration::ZERO, Duration::ZERO),
+            |(min, max, total), &d| (min.min(d), max.max(d), total + d),
+        );
+        if bencher.samples.is_empty() {
+            println!("{}/{id}: no samples (body never called iter)", self.name);
+        } else {
+            let mean = total / bencher.samples.len() as u32;
+            println!(
+                "{}/{id}: mean {mean:?} (min {min:?}, max {max:?}, {} samples)",
+                self.name,
+                bencher.samples.len()
+            );
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags (`--test`,
+            // `--bench`, filters); a plain wall-clock harness runs the
+            // same way under all of them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+                b.iter(|| {
+                    calls += 1;
+                    x * 2
+                });
+            });
+            g.finish();
+        }
+        // 1 warm-up + 3 timed.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("alg4", 16).to_string(), "alg4/16");
+        assert_eq!(BenchmarkId::from_parameter(16).to_string(), "16");
+    }
+}
