@@ -6,19 +6,17 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dispersion_core::{DispersionDynamic, LeafPortRule, MoverRule, SlidingPolicy};
 use dispersion_engine::adversary::EdgeChurnNetwork;
-use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+use dispersion_engine::{Configuration, ModelSpec, Simulator};
 
 fn run_policy(policy: SlidingPolicy, n: usize, k: usize, seed: u64) -> u64 {
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::with_policy(policy),
         EdgeChurnNetwork::new(n, 0.12, seed),
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         Configuration::random(n, k, seed, true),
-        SimOptions {
-            validate_graphs: false,
-            ..SimOptions::default()
-        },
     )
+    .validate_graphs(false)
+    .build()
     .expect("k ≤ n");
     let out = sim.run().expect("valid");
     assert!(out.dispersed);

@@ -7,7 +7,7 @@ use dispersion_core::impossibility::near_dispersed_config;
 use dispersion_engine::adversary::{
     CliqueTrapAdversary, EdgeChurnNetwork, PathTrapAdversary, StarPairAdversary,
 };
-use dispersion_engine::{ModelSpec, SimOptions, Simulator};
+use dispersion_engine::{ModelSpec, Simulator};
 
 fn bench_churn_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("adversary_churn_round");
@@ -16,7 +16,7 @@ fn bench_churn_generation(c: &mut Criterion) {
             // One dispersion round under churn dominates by graph
             // generation at these sizes; measure a 1-round run.
             b.iter(|| {
-                let mut sim = Simulator::new(
+                let mut sim = Simulator::builder(
                     dispersion_core::DispersionDynamic::new(),
                     EdgeChurnNetwork::new(n, 0.05, 7),
                     ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
@@ -25,11 +25,9 @@ fn bench_churn_generation(c: &mut Criterion) {
                         n / 2,
                         dispersion_graph::NodeId::new(0),
                     ),
-                    SimOptions {
-                        max_rounds: 1,
-                        ..SimOptions::default()
-                    },
                 )
+                .max_rounds(1)
+                .build()
                 .expect("k ≤ n");
                 sim.run().expect("valid")
             });
@@ -43,7 +41,7 @@ fn bench_star_pair_round(c: &mut Criterion) {
     for n in [32usize, 128, 512] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let mut sim = Simulator::new(
+                let mut sim = Simulator::builder(
                     dispersion_core::DispersionDynamic::new(),
                     StarPairAdversary::new(n),
                     ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
@@ -52,11 +50,9 @@ fn bench_star_pair_round(c: &mut Criterion) {
                         n / 2,
                         dispersion_graph::NodeId::new(0),
                     ),
-                    SimOptions {
-                        max_rounds: 1,
-                        ..SimOptions::default()
-                    },
                 )
+                .max_rounds(1)
+                .build()
                 .expect("k ≤ n");
                 sim.run().expect("valid")
             });
@@ -72,32 +68,28 @@ fn bench_trap_searches(c: &mut Criterion) {
         let n = k + 4;
         group.bench_with_input(BenchmarkId::new("path_trap", k), &k, |b, &k| {
             b.iter(|| {
-                let mut sim = Simulator::new(
+                let mut sim = Simulator::builder(
                     GreedyLocal::new(),
                     PathTrapAdversary::new(n),
                     ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
                     near_dispersed_config(n, k),
-                    SimOptions {
-                        max_rounds: 5,
-                        ..SimOptions::default()
-                    },
                 )
+                .max_rounds(5)
+                .build()
                 .expect("k ≤ n");
                 sim.run().expect("valid")
             });
         });
         group.bench_with_input(BenchmarkId::new("clique_trap", k), &k, |b, &k| {
             b.iter(|| {
-                let mut sim = Simulator::new(
+                let mut sim = Simulator::builder(
                     BlindGlobal::new(),
                     CliqueTrapAdversary::new(n),
                     ModelSpec::GLOBAL_BLIND,
                     near_dispersed_config(n, k),
-                    SimOptions {
-                        max_rounds: 5,
-                        ..SimOptions::default()
-                    },
                 )
+                .max_rounds(5)
+                .build()
                 .expect("k ≤ n");
                 sim.run().expect("valid")
             });

@@ -7,7 +7,7 @@ use dispersion_core::baselines::{LocalDfs, RandomWalk};
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::StaticNetwork;
 use dispersion_engine::{
-    Configuration, DispersionAlgorithm, ModelSpec, SimOptions, Simulator,
+    Configuration, DispersionAlgorithm, ModelSpec, Simulator,
 };
 use dispersion_graph::{generators, NodeId, PortLabeledGraph};
 
@@ -18,17 +18,15 @@ fn run_to_done<A: DispersionAlgorithm>(
     k: usize,
 ) -> dispersion_engine::SimOutcome {
     let n = g.node_count();
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         alg,
         StaticNetwork::new(g.clone()),
         model,
         Configuration::rooted(n, k, NodeId::new(0)),
-        SimOptions {
-            max_rounds: 5_000_000,
-            validate_graphs: false,
-            ..SimOptions::default()
-        },
     )
+    .max_rounds(5_000_000)
+    .validate_graphs(false)
+    .build()
     .expect("k ≤ n");
     let out = sim.run().expect("valid");
     assert!(out.dispersed);

@@ -1,0 +1,77 @@
+//! The zero-allocation round loop under criterion: one full Algorithm 4
+//! run (rooted, k = n/2, tracing off) per iteration, across the same
+//! network matrix as `BENCH_engine.json` — ring / grid / adversarial at
+//! n ∈ {64, 256, 1024}. The `bench_engine` binary reports the same work
+//! as rounds/sec; this target gives per-iteration wall-clock for quick
+//! A/B comparisons during engine work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dispersion_core::DispersionDynamic;
+use dispersion_engine::adversary::{DynamicNetwork, DynamicRingNetwork, StaticNetwork};
+use dispersion_engine::{Configuration, ModelSpec, Simulator, TracePolicy};
+use dispersion_graph::{generators, NodeId};
+
+const SIZES: [usize; 3] = [64, 256, 1024];
+
+fn samples_for(n: usize) -> usize {
+    // Keep the n = 1024 row affordable; it runs ~512 rounds per iteration.
+    match n {
+        64 => 20,
+        256 => 10,
+        _ => 4,
+    }
+}
+
+fn run_round_loop<N: DynamicNetwork>(net: N, n: usize) {
+    let k = n / 2;
+    let mut sim = Simulator::builder(
+        DispersionDynamic::new(),
+        net,
+        ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+        Configuration::rooted(n, k, NodeId::new(0)),
+    )
+    .max_rounds(n as u64)
+    .trace(TracePolicy::Off)
+    .build()
+    .expect("k ≤ n");
+    sim.run().expect("benchmark run succeeds");
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path_ring");
+    for n in SIZES {
+        group.sample_size(samples_for(n));
+        let g = generators::cycle(n).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_round_loop(StaticNetwork::new(g.clone()), n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path_grid");
+    for n in SIZES {
+        group.sample_size(samples_for(n));
+        let side = (n as f64).sqrt() as usize;
+        let g = generators::grid(side, side).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_round_loop(StaticNetwork::new(g.clone()), n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_adversarial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path_adversarial");
+    for n in SIZES {
+        group.sample_size(samples_for(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_round_loop(DynamicRingNetwork::new(n, true, 0xbe7c), n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_grid, bench_adversarial);
+criterion_main!(benches);

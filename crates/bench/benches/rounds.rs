@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::StaticNetwork;
-use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+use dispersion_engine::{Configuration, ModelSpec, Simulator};
 use dispersion_graph::{generators, NodeId};
 
 fn bench_single_round(c: &mut Criterion) {
@@ -15,17 +15,15 @@ fn bench_single_round(c: &mut Criterion) {
         let g = generators::random_connected(n, 0.1, k as u64).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| {
-                let mut sim = Simulator::new(
+                let mut sim = Simulator::builder(
                     DispersionDynamic::new(),
                     StaticNetwork::new(g.clone()),
                     ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
                     Configuration::rooted(n, k, NodeId::new(0)),
-                    SimOptions {
-                        max_rounds: 1,
-                        validate_graphs: false,
-                        ..SimOptions::default()
-                    },
                 )
+                .max_rounds(1)
+                .validate_graphs(false)
+                .build()
                 .expect("k ≤ n");
                 sim.run().expect("valid")
             });

@@ -1,0 +1,101 @@
+//! Engine round-loop throughput benchmark — emits `BENCH_engine.json`.
+//!
+//! Runs the pinned matrix from `dispersion_lab::throughput` (Algorithm 4,
+//! rooted, k = n/2, over ring/grid/adversarial networks at
+//! n ∈ {64, 256, 1024}), prints a table, and writes a JSON document.
+//!
+//! ```text
+//! cargo run --release -p dispersion-bench --bin bench_engine -- \
+//!     --out BENCH_engine.json --label post-refactor \
+//!     [--baseline results/BENCH_engine_baseline.json] [--quick]
+//! ```
+//!
+//! `--baseline` embeds the results array of an earlier emission so the
+//! committed artifact carries before/after numbers side by side.
+
+use std::fs;
+use std::process::ExitCode;
+
+use dispersion_lab::throughput::{
+    engine_cases, extract_results_array, measure, render_bench_json, render_table,
+};
+
+struct Args {
+    out: Option<String>,
+    label: String,
+    baseline: Option<String>,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = None;
+    let mut label = String::from("current");
+    let mut baseline = None;
+    let mut quick = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(it.next().ok_or("--out needs a path")?),
+            "--label" => label = it.next().ok_or("--label needs a value")?,
+            "--baseline" => baseline = Some(it.next().ok_or("--baseline needs a path")?),
+            "--quick" => quick = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args { out, label, baseline, quick })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_engine: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let baseline = match &args.baseline {
+        Some(path) => {
+            let doc = match fs::read_to_string(path) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("bench_engine: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(arr) = extract_results_array(&doc) else {
+                eprintln!("bench_engine: {path}: no results array found");
+                return ExitCode::FAILURE;
+            };
+            let label = dispersion_lab::json::str_value(&doc.replace('\n', " "), "label")
+                .unwrap_or_else(|| "baseline".to_string());
+            Some((label, arr))
+        }
+        None => None,
+    };
+
+    let cases = engine_cases(args.quick);
+    let mut results = Vec::with_capacity(cases.len());
+    for case in &cases {
+        eprintln!("measuring {} ({} repeats)...", case.label(), case.repeats);
+        results.push(measure(case));
+    }
+
+    println!("{}", render_table(&results));
+
+    let doc = render_bench_json(
+        &args.label,
+        &results,
+        baseline.as_ref().map(|(l, a)| (l.as_str(), a.as_str())),
+    );
+    if let Some(out) = &args.out {
+        if let Err(e) = fs::write(out, &doc) {
+            eprintln!("bench_engine: {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out}");
+    } else {
+        print!("{doc}");
+    }
+    ExitCode::SUCCESS
+}

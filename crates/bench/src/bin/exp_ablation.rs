@@ -9,7 +9,7 @@ use dispersion_bench::{banner, Table};
 use dispersion_core::{DispersionDynamic, LeafPortRule, MoverRule, SlidingPolicy};
 use dispersion_engine::adversary::{EdgeChurnNetwork, StarPairAdversary};
 use dispersion_engine::stats::RunSummary;
-use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+use dispersion_engine::{Configuration, ModelSpec, Simulator};
 use dispersion_graph::NodeId;
 
 const SEEDS: u64 = 8;
@@ -29,13 +29,13 @@ fn summarize(policy: SlidingPolicy, n: usize, k: usize, adaptive: bool) -> RunSu
                     Configuration::random(n, k, seed, true),
                 )
             };
-            let mut sim = Simulator::new(
+            let mut sim = Simulator::builder(
                 DispersionDynamic::with_policy(policy),
                 network,
                 ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
                 initial,
-                SimOptions::default(),
             )
+            .build()
             .expect("k ≤ n");
             sim.run().expect("valid run")
         })

@@ -9,7 +9,7 @@ use dispersion_bench::{banner, Table};
 use dispersion_core::byzantine::{honest_dispersed, ByzantineStrategy, WithByzantine};
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::EdgeChurnNetwork;
-use dispersion_engine::{Configuration, ModelSpec, RobotId, SimOptions, Simulator};
+use dispersion_engine::{Configuration, ModelSpec, RobotId, Simulator};
 use dispersion_graph::NodeId;
 
 fn main() {
@@ -45,16 +45,14 @@ fn main() {
             deviants,
             strategy.unwrap_or(ByzantineStrategy::Freeze),
         );
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             alg,
             EdgeChurnNetwork::new(n, 0.15, 3),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions {
-                max_rounds: HORIZON,
-                ..SimOptions::default()
-            },
         )
+        .max_rounds(HORIZON)
+        .build()
         .expect("k ≤ n");
         let out = sim.run().expect("valid run");
         t.row([

@@ -10,7 +10,7 @@
 use dispersion_bench::{banner, Table};
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::StarPairAdversary;
-use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+use dispersion_engine::{Configuration, ModelSpec, Simulator, TracePolicy};
 use dispersion_graph::{metrics, NodeId};
 
 fn main() {
@@ -21,16 +21,14 @@ fn main() {
     );
 
     let (n, k) = (16usize, 10usize);
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::new(),
         StarPairAdversary::new(n),
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         Configuration::rooted(n, k, NodeId::new(0)),
-        SimOptions {
-            record_graphs: true,
-            ..SimOptions::default()
-        },
     )
+    .trace(TracePolicy::RoundsAndGraphs)
+    .build()
     .expect("k ≤ n");
     let out = sim.run().expect("valid run");
     assert!(out.dispersed);

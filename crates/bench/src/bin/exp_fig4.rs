@@ -8,7 +8,7 @@
 use dispersion_bench::{banner, Table};
 use dispersion_core::{worked_example, DispersionDynamic};
 use dispersion_engine::adversary::StaticNetwork;
-use dispersion_engine::{ModelSpec, SimOptions, Simulator};
+use dispersion_engine::{ModelSpec, Simulator};
 
 fn main() {
     banner(
@@ -47,16 +47,14 @@ fn main() {
     println!();
 
     println!("Fig. 4(b): one round of sliding");
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::new(),
         StaticNetwork::new(ex.graph.clone()),
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         ex.config.clone(),
-        SimOptions {
-            max_rounds: 1,
-            ..SimOptions::default()
-        },
     )
+    .max_rounds(1)
+    .build()
     .expect("k ≤ n");
     let out = sim.run().expect("valid run");
     let rec = &out.trace.records[0];

@@ -11,7 +11,7 @@ use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::{EdgeChurnNetwork, StaticNetwork};
 use dispersion_engine::stats::RunSummary;
 use dispersion_engine::{
-    Configuration, DispersionAlgorithm, ModelSpec, RobotId, SimOptions, SimOutcome, Simulator,
+    Configuration, DispersionAlgorithm, ModelSpec, RobotId, SimOutcome, Simulator,
 };
 use dispersion_graph::{generators, NodeId};
 
@@ -26,27 +26,25 @@ fn one_run<A: DispersionAlgorithm>(
     seed: u64,
 ) -> SimOutcome {
     if static_graph {
-        Simulator::new(
+        Simulator::builder(
             alg,
             StaticNetwork::new(generators::random_connected(n, 0.1, seed).unwrap()),
             model,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions {
-                max_rounds: 1_000_000,
-                ..SimOptions::default()
-            },
         )
+        .max_rounds(1_000_000)
+        .build()
         .expect("k ≤ n")
         .run()
         .expect("valid")
     } else {
-        Simulator::new(
+        Simulator::builder(
             alg,
             EdgeChurnNetwork::new(n, 0.1, seed),
             model,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions::default(),
         )
+        .build()
         .expect("k ≤ n")
         .run()
         .expect("valid")

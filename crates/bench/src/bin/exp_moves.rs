@@ -12,9 +12,7 @@ use dispersion_core::baselines::{LocalDfs, RandomWalk};
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::StaticNetwork;
 use dispersion_engine::stats::RunSummary;
-use dispersion_engine::{
-    Configuration, DispersionAlgorithm, ModelSpec, SimOptions, SimOutcome, Simulator,
-};
+use dispersion_engine::{Configuration, DispersionAlgorithm, ModelSpec, SimOutcome, Simulator};
 use dispersion_graph::{generators, NodeId};
 
 const SEEDS: u64 = 5;
@@ -32,16 +30,14 @@ fn run<A: DispersionAlgorithm>(
     } else {
         generators::random_connected(n, 0.15, seed).unwrap()
     };
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         alg,
         StaticNetwork::new(g),
         model,
         Configuration::rooted(n, k, NodeId::new(0)),
-        SimOptions {
-            max_rounds: 2_000_000,
-            ..SimOptions::default()
-        },
     )
+    .max_rounds(2_000_000)
+    .build()
     .expect("k ≤ n");
     sim.run().expect("valid run")
 }

@@ -12,7 +12,7 @@ use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::{EdgeChurnNetwork, StarPairAdversary};
 use dispersion_engine::stats::RunSummary;
 use dispersion_engine::{
-    Activation, Configuration, ModelSpec, SimOptions, Simulator,
+    Activation, Configuration, ModelSpec, Simulator,
 };
 use dispersion_graph::NodeId;
 
@@ -27,21 +27,19 @@ fn summarize(p_percent: u8, adaptive: bool, n: usize, k: usize) -> RunSummary {
             } else {
                 Box::new(EdgeChurnNetwork::new(n, 0.12, seed))
             };
-            let mut sim = Simulator::new(
+            let mut sim = Simulator::builder(
                 DispersionDynamic::new(),
                 network,
                 ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
                 Configuration::rooted(n, k, NodeId::new(0)),
-                SimOptions {
-                    max_rounds: 50_000,
-                    activation: if p_percent == 100 {
-                        Activation::FullSync
-                    } else {
-                        Activation::SemiSync { p_percent, seed }
-                    },
-                    ..SimOptions::default()
-                },
             )
+            .max_rounds(50_000)
+            .activation(if p_percent == 100 {
+                Activation::FullSync
+            } else {
+                Activation::SemiSync { p_percent, seed }
+            })
+            .build()
             .expect("k ≤ n");
             sim.run().expect("valid run")
         })

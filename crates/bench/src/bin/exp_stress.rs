@@ -10,7 +10,7 @@
 use dispersion_bench::{banner, Table};
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::MinProgressSampler;
-use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+use dispersion_engine::{Configuration, ModelSpec, Simulator};
 use dispersion_graph::NodeId;
 
 fn main() {
@@ -29,13 +29,13 @@ fn main() {
         "rounds at minimum",
     ]);
     for budget in [1usize, 4, 16, 64] {
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             MinProgressSampler::new(n, budget, 0.12, 11),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions::default(),
         )
+        .build()
         .expect("k ≤ n");
         let out = sim.run().expect("valid run");
         assert!(out.dispersed);

@@ -10,7 +10,7 @@ use dispersion_bench::{banner, Table};
 use dispersion_core::baselines::BlindGlobal;
 use dispersion_core::impossibility;
 use dispersion_engine::adversary::StaticNetwork;
-use dispersion_engine::{ModelSpec, SimOptions, Simulator};
+use dispersion_engine::{ModelSpec, Simulator};
 use dispersion_graph::generators;
 
 fn main() {
@@ -33,16 +33,14 @@ fn main() {
     for k in [3usize, 4, 8, 16] {
         let n = k + 5;
         let report = impossibility::run_clique_trap(n, k, ROUNDS).expect("valid run");
-        let mut control = Simulator::new(
+        let mut control = Simulator::builder(
             BlindGlobal::new(),
             StaticNetwork::new(generators::complete(n).unwrap()),
             ModelSpec::GLOBAL_BLIND,
             impossibility::near_dispersed_config(n, k),
-            SimOptions {
-                max_rounds: 50_000,
-                ..SimOptions::default()
-            },
         )
+        .max_rounds(50_000)
+        .build()
         .expect("k ≤ n");
         let control_out = control.run().expect("valid run");
         assert!(control_out.dispersed, "control must disperse");

@@ -1,0 +1,30 @@
+//! Regenerates the golden-trace fixtures under `tests/golden/`.
+//!
+//! Each fixture pins one (algorithm × adversary) pair to a fixed seed and
+//! records the full observable outcome: dispersion flag, round count,
+//! crash count, the final placement, and the per-round trace CSV. The
+//! `golden_trace` integration test replays the same runs and asserts the
+//! files match byte-for-byte — any engine change that alters observable
+//! behavior fails the test instead of silently shifting results.
+//!
+//! Run from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p dispersion-bench --bin gen_golden
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use dispersion_bench::golden::{golden_cases, render_case};
+
+fn main() {
+    let dir = Path::new("tests/golden");
+    fs::create_dir_all(dir).expect("create tests/golden");
+    for case in golden_cases() {
+        let rendered = render_case(&case);
+        let path = dir.join(format!("{}.golden", case.name));
+        fs::write(&path, rendered).expect("write golden file");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,242 @@
+//! Golden-trace fixtures: fixed-seed (algorithm × adversary) runs whose
+//! complete observable outcome is pinned to files under `tests/golden/`.
+//!
+//! The fixtures were captured before the zero-allocation round-loop
+//! rewrite and assert that the engine's observable behavior — outcome,
+//! final placement, and the per-round trace CSV — is byte-identical
+//! across engine refactors. `gen_golden` regenerates the files; the
+//! `golden_trace` test replays and compares them.
+
+use std::fmt::Write as _;
+
+use dispersion_core::baselines::{BlindGlobal, GreedyLocal, LocalDfs, RandomWalk};
+use dispersion_core::DispersionDynamic;
+use dispersion_engine::adversary::{
+    DynamicNetwork, DynamicRingNetwork, EdgeChurnNetwork, MinProgressSampler,
+    StarPairAdversary, StaticNetwork,
+};
+use dispersion_engine::{
+    Configuration, CrashPhase, DispersionAlgorithm, FaultPlan, ModelSpec,
+    SimOutcome, Simulator,
+};
+use dispersion_graph::{generators, NodeId};
+
+/// Which algorithm a golden case runs (each in its home model).
+#[derive(Clone, Copy, Debug)]
+pub enum GoldenAlgorithm {
+    /// The paper's Algorithm 4 (global comm + 1-neighborhood knowledge).
+    Alg4,
+    /// Local-communication DFS baseline.
+    LocalDfs,
+    /// Seeded random walk (global comm + 1-NK).
+    RandomWalk,
+    /// Greedy local spill baseline.
+    GreedyLocal,
+    /// Global communication without sensing.
+    BlindGlobal,
+}
+
+impl GoldenAlgorithm {
+    fn model(self) -> ModelSpec {
+        match self {
+            GoldenAlgorithm::Alg4 | GoldenAlgorithm::RandomWalk => {
+                ModelSpec::GLOBAL_WITH_NEIGHBORHOOD
+            }
+            GoldenAlgorithm::LocalDfs | GoldenAlgorithm::GreedyLocal => {
+                ModelSpec::LOCAL_WITH_NEIGHBORHOOD
+            }
+            GoldenAlgorithm::BlindGlobal => ModelSpec::GLOBAL_BLIND,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            GoldenAlgorithm::Alg4 => "alg4",
+            GoldenAlgorithm::LocalDfs => "local-dfs",
+            GoldenAlgorithm::RandomWalk => "random-walk",
+            GoldenAlgorithm::GreedyLocal => "greedy-local",
+            GoldenAlgorithm::BlindGlobal => "blind-global",
+        }
+    }
+}
+
+/// Which adversary a golden case runs against.
+#[derive(Clone, Copy, Debug)]
+pub enum GoldenAdversary {
+    /// One seeded random connected graph, fixed for the whole run.
+    StaticRandom,
+    /// A fixed cycle.
+    StaticCycle,
+    /// Fresh random connected graph every round.
+    Churn,
+    /// Dynamic ring, re-embedded each round (optionally with one edge cut).
+    BrokenRing,
+    /// The Theorem 3 lower-bound adversary.
+    StarPair,
+    /// Oracle-guided progress-minimizing sampler.
+    MinProgress,
+}
+
+impl GoldenAdversary {
+    fn name(self) -> &'static str {
+        match self {
+            GoldenAdversary::StaticRandom => "static-random",
+            GoldenAdversary::StaticCycle => "static-cycle",
+            GoldenAdversary::Churn => "churn",
+            GoldenAdversary::BrokenRing => "broken-ring",
+            GoldenAdversary::StarPair => "star-pair",
+            GoldenAdversary::MinProgress => "min-progress",
+        }
+    }
+
+    fn build(self, n: usize, seed: u64) -> Box<dyn DynamicNetwork> {
+        match self {
+            GoldenAdversary::StaticRandom => Box::new(StaticNetwork::new(
+                generators::random_connected(n, 0.2, seed).expect("n ≥ 1"),
+            )),
+            GoldenAdversary::StaticCycle => Box::new(StaticNetwork::new(
+                generators::cycle(n).expect("n ≥ 3"),
+            )),
+            GoldenAdversary::Churn => Box::new(EdgeChurnNetwork::new(n, 0.2, seed)),
+            GoldenAdversary::BrokenRing => Box::new(DynamicRingNetwork::new(n, true, seed)),
+            GoldenAdversary::StarPair => Box::new(StarPairAdversary::new(n)),
+            GoldenAdversary::MinProgress => Box::new(MinProgressSampler::new(n, 6, 0.2, seed)),
+        }
+    }
+}
+
+/// One pinned golden run.
+#[derive(Clone, Copy, Debug)]
+pub struct GoldenCase {
+    /// Fixture file stem under `tests/golden/`.
+    pub name: &'static str,
+    /// Algorithm under test.
+    pub algorithm: GoldenAlgorithm,
+    /// Adversary it runs against.
+    pub adversary: GoldenAdversary,
+    /// Nodes.
+    pub n: usize,
+    /// Robots.
+    pub k: usize,
+    /// Seed for networks / placement / fault plans.
+    pub seed: u64,
+    /// Robots crashed by a seeded fault plan (0 = fault-free).
+    pub faults: usize,
+}
+
+/// The pinned case list. Append only — renaming or re-seeding a case
+/// invalidates its fixture.
+pub fn golden_cases() -> Vec<GoldenCase> {
+    let case = |name,
+                algorithm,
+                adversary,
+                n,
+                k,
+                seed,
+                faults| GoldenCase {
+        name,
+        algorithm,
+        adversary,
+        n,
+        k,
+        seed,
+        faults,
+    };
+    vec![
+        case("alg4_static_random", GoldenAlgorithm::Alg4, GoldenAdversary::StaticRandom, 16, 10, 3, 0),
+        case("alg4_static_cycle", GoldenAlgorithm::Alg4, GoldenAdversary::StaticCycle, 16, 10, 3, 0),
+        case("alg4_churn", GoldenAlgorithm::Alg4, GoldenAdversary::Churn, 16, 10, 5, 0),
+        case("alg4_broken_ring", GoldenAlgorithm::Alg4, GoldenAdversary::BrokenRing, 16, 10, 7, 0),
+        case("alg4_star_pair", GoldenAlgorithm::Alg4, GoldenAdversary::StarPair, 16, 10, 0, 0),
+        case("alg4_min_progress", GoldenAlgorithm::Alg4, GoldenAdversary::MinProgress, 12, 8, 9, 0),
+        case("alg4_churn_faults", GoldenAlgorithm::Alg4, GoldenAdversary::Churn, 16, 10, 11, 3),
+        case("local_dfs_static_random", GoldenAlgorithm::LocalDfs, GoldenAdversary::StaticRandom, 16, 10, 3, 0),
+        case("greedy_local_static_cycle", GoldenAlgorithm::GreedyLocal, GoldenAdversary::StaticCycle, 16, 10, 3, 0),
+        case("random_walk_churn", GoldenAlgorithm::RandomWalk, GoldenAdversary::Churn, 16, 10, 13, 0),
+        case("blind_global_star_pair", GoldenAlgorithm::BlindGlobal, GoldenAdversary::StarPair, 14, 9, 0, 0),
+    ]
+}
+
+fn run_case<A: DispersionAlgorithm>(alg: A, case: &GoldenCase) -> SimOutcome {
+    let plan = if case.faults > 0 {
+        FaultPlan::random(
+            case.k,
+            case.faults,
+            (case.k as u64 / 2).max(1),
+            CrashPhase::BeforeCommunicate,
+            case.seed,
+        )
+    } else {
+        FaultPlan::none()
+    };
+    Simulator::builder(
+        alg,
+        case.adversary.build(case.n, case.seed),
+        case.algorithm.model(),
+        Configuration::rooted(case.n, case.k, NodeId::new(0)),
+    )
+    .max_rounds(500)
+    .faults(plan)
+    .build()
+    .expect("golden cases satisfy k ≤ n")
+    .run()
+    .expect("golden cases run to completion")
+}
+
+/// Executes one case and renders its canonical fixture text.
+pub fn render_case(case: &GoldenCase) -> String {
+    let outcome = match case.algorithm {
+        GoldenAlgorithm::Alg4 => run_case(DispersionDynamic::new(), case),
+        GoldenAlgorithm::LocalDfs => run_case(LocalDfs::new(), case),
+        GoldenAlgorithm::RandomWalk => run_case(RandomWalk::new(case.seed), case),
+        GoldenAlgorithm::GreedyLocal => run_case(GreedyLocal::new(), case),
+        GoldenAlgorithm::BlindGlobal => run_case(BlindGlobal::new(), case),
+    };
+    let mut out = String::from("golden-trace v1\n");
+    let _ = writeln!(
+        out,
+        "algorithm={} adversary={} n={} k={} seed={} faults={}",
+        case.algorithm.name(),
+        case.adversary.name(),
+        case.n,
+        case.k,
+        case.seed,
+        case.faults,
+    );
+    let _ = writeln!(
+        out,
+        "dispersed={} rounds={} crashes={} max_memory_bits={}",
+        outcome.dispersed,
+        outcome.rounds,
+        outcome.crashes,
+        outcome.max_memory_bits(),
+    );
+    let placements: Vec<String> = outcome
+        .final_config
+        .iter()
+        .map(|(r, v)| format!("{}:{}", r.get(), v.index()))
+        .collect();
+    let _ = writeln!(out, "final={}", placements.join(","));
+    out.push_str(&outcome.trace.to_csv());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_have_unique_names() {
+        let cases = golden_cases();
+        let mut names: Vec<_> = cases.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cases.len());
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let case = &golden_cases()[0];
+        assert_eq!(render_case(case), render_case(case));
+    }
+}

@@ -7,8 +7,10 @@
 
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::DynamicNetwork;
-use dispersion_engine::{Configuration, ModelSpec, SimOptions, SimOutcome, Simulator};
+use dispersion_engine::{Configuration, ModelSpec, SimOutcome, Simulator};
 use dispersion_graph::NodeId;
+
+pub mod golden;
 
 /// Runs Algorithm 4 in its home model (global comm + 1-NK) from a rooted
 /// configuration against the given network.
@@ -17,13 +19,13 @@ use dispersion_graph::NodeId;
 ///
 /// Panics on simulator errors — experiment inputs are all well formed.
 pub fn run_alg4_rooted<N: DynamicNetwork>(net: N, n: usize, k: usize) -> SimOutcome {
-    Simulator::new(
+    Simulator::builder(
         DispersionDynamic::new(),
         net,
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         Configuration::rooted(n, k, NodeId::new(0)),
-        SimOptions::default(),
     )
+    .build()
     .expect("k ≤ n")
     .run()
     .expect("experiment inputs are valid")
@@ -35,13 +37,13 @@ pub fn run_alg4_rooted<N: DynamicNetwork>(net: N, n: usize, k: usize) -> SimOutc
 ///
 /// Panics on simulator errors — experiment inputs are all well formed.
 pub fn run_alg4_random<N: DynamicNetwork>(net: N, n: usize, k: usize, seed: u64) -> SimOutcome {
-    Simulator::new(
+    Simulator::builder(
         DispersionDynamic::new(),
         net,
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         Configuration::random(n, k, seed, true),
-        SimOptions::default(),
     )
+    .build()
     .expect("k ≤ n")
     .run()
     .expect("experiment inputs are valid")

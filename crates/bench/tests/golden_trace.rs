@@ -1,0 +1,52 @@
+//! Golden-trace regression: replay every pinned case and compare against
+//! the fixtures under `tests/golden/` byte-for-byte.
+//!
+//! The fixtures were captured with the engine as it stood before the
+//! zero-allocation round-loop rewrite; this test is the proof that the
+//! rewrite changed no observable behavior. If an intentional behavior
+//! change lands, regenerate with
+//! `cargo run --release -p dispersion-bench --bin gen_golden`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dispersion_bench::golden::{golden_cases, render_case};
+
+fn golden_dir() -> PathBuf {
+    // crates/bench/ → workspace root → tests/golden/
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+#[test]
+fn every_case_matches_its_fixture() {
+    let dir = golden_dir();
+    let mut checked = 0usize;
+    for case in golden_cases() {
+        let path = dir.join(format!("{}.golden", case.name));
+        let expected = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}; regenerate with gen_golden", path.display()));
+        let actual = render_case(&case);
+        assert_eq!(
+            actual, expected,
+            "case `{}` diverged from its pre-refactor fixture",
+            case.name
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, golden_cases().len());
+}
+
+#[test]
+fn no_stale_fixtures_on_disk() {
+    // Every .golden file must correspond to a pinned case — a stray file
+    // means a case was renamed without cleaning up (which would silently
+    // stop guarding that run).
+    let names: Vec<String> = golden_cases()
+        .iter()
+        .map(|c| format!("{}.golden", c.name))
+        .collect();
+    for entry in fs::read_dir(golden_dir()).expect("tests/golden exists") {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        assert!(names.contains(&name), "stale fixture {name}");
+    }
+}

@@ -108,6 +108,18 @@ pub enum Command {
         /// Artifact directory.
         out_dir: String,
     },
+    /// `dispersion bench …` — run the engine round-loop throughput
+    /// harness (the `BENCH_engine.json` matrix).
+    Bench {
+        /// Write the JSON document here instead of stdout.
+        out: Option<String>,
+        /// Label recorded in the JSON document.
+        label: String,
+        /// Earlier emission to embed as the baseline section.
+        baseline: Option<String>,
+        /// Smoke configuration: drop n = 1024, one repeat per case.
+        quick: bool,
+    },
     /// `dispersion dot …` — export one round's graph as Graphviz DOT.
     Dot {
         /// Dynamic network to sample.
@@ -379,6 +391,27 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
                 out_dir,
             })
         }
+        "bench" => {
+            let mut out = None;
+            let mut label = String::from("current");
+            let mut baseline = None;
+            let mut quick = false;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--out" => out = Some(take_value(flag, &mut iter)?.to_string()),
+                    "--label" => label = take_value(flag, &mut iter)?.to_string(),
+                    "--baseline" => baseline = Some(take_value(flag, &mut iter)?.to_string()),
+                    "--quick" => quick = true,
+                    other => return Err(ParseError::UnknownFlag(other.into())),
+                }
+            }
+            Ok(Command::Bench {
+                out,
+                label,
+                baseline,
+                quick,
+            })
+        }
         "trap" => {
             let mut theorem = 1u8;
             let mut k = 6usize;
@@ -482,6 +515,7 @@ USAGE:
                         [--campaign-seed S] [--placement rooted|scattered|near-dispersed]
                         [--max-rounds R] [--edge-prob P] [--jobs J] [--out DIR]
                         [--fresh] [--keep-traces]
+    dispersion bench [--out FILE] [--label L] [--baseline FILE] [--quick]
     dispersion trap --theorem 1|2 [--k K] [--rounds R]
     dispersion dot [--network …] [--n N] [--k K] [--seed S]
     dispersion lower-bound [--k K]
@@ -494,6 +528,10 @@ SUBCOMMANDS:
     campaign     run a (algorithm × network × k × faults × seed) grid in
                  parallel, streaming one JSONL record per run to
                  DIR/NAME.jsonl; reruns resume where the artifact stops
+    bench        measure engine round-loop throughput (rounds/sec and
+                 robot-steps/sec) over ring/grid/adversarial networks;
+                 --quick is the CI smoke matrix, --baseline embeds an
+                 earlier emission for side-by-side comparison
     dot          Graphviz DOT of one adversary round (occupancy annotated)
     trap         run a Theorem 1/2 impossibility trap against its victim
     lower-bound  run the Theorem 3 star-pair adversary (exactly k-1 rounds)
@@ -724,6 +762,42 @@ mod tests {
         assert!(matches!(
             parse(["trap", "--theorem", "3"]),
             Err(ParseError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn parses_bench() {
+        assert_eq!(
+            parse(["bench"]).unwrap(),
+            Command::Bench {
+                out: None,
+                label: "current".into(),
+                baseline: None,
+                quick: false,
+            }
+        );
+        assert_eq!(
+            parse([
+                "bench",
+                "--out",
+                "BENCH_engine.json",
+                "--label",
+                "post-refactor",
+                "--baseline",
+                "results/BENCH_engine_baseline.json",
+                "--quick",
+            ])
+            .unwrap(),
+            Command::Bench {
+                out: Some("BENCH_engine.json".into()),
+                label: "post-refactor".into(),
+                baseline: Some("results/BENCH_engine_baseline.json".into()),
+                quick: true,
+            }
+        );
+        assert!(matches!(
+            parse(["bench", "--out"]),
+            Err(ParseError::MissingValue(_))
         ));
     }
 

@@ -2,62 +2,29 @@
 //! output so `main` stays a thin shell (and tests can assert on output).
 
 use dispersion_core::baselines::{BlindGlobal, GreedyLocal};
-use dispersion_core::{impossibility, lower_bound, DispersionDynamic};
+use dispersion_core::{impossibility, lower_bound, DispersionDynamic, DispersionError};
 use dispersion_engine::adversary::{
     CliqueTrapAdversary, DynamicNetwork, DynamicRingNetwork, EdgeChurnNetwork,
     MinProgressSampler, PathTrapAdversary, StarPairAdversary, StaticNetwork,
     TIntervalNetwork,
 };
 use dispersion_engine::{
-    Configuration, CrashPhase, FaultPlan, ModelSpec, RobotId, SimError, SimOptions,
-    Simulator, StepStatus,
+    Configuration, CrashPhase, FaultPlan, ModelSpec, RobotId, SimError, Simulator, Step,
 };
 use dispersion_graph::{generators, NodeId};
 
-use dispersion_lab::{artifact_path, run_campaign, CampaignSpec, LabError, RunnerOptions};
+use dispersion_lab::{artifact_path, run_campaign, CampaignSpec, RunnerOptions};
 
 use crate::args::{Command, NetworkKind, HELP};
 use crate::render;
-
-/// Anything a command can fail with at execution time.
-#[derive(Debug)]
-pub enum ExecError {
-    /// The simulator rejected or aborted a run (indicates a bug — user
-    /// errors are caught at parse time).
-    Sim(SimError),
-    /// The campaign runner failed (artifact I/O, spec mismatch).
-    Lab(LabError),
-}
-
-impl std::fmt::Display for ExecError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ExecError::Sim(e) => write!(f, "simulation error: {e}"),
-            ExecError::Lab(e) => write!(f, "campaign error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ExecError {}
-
-impl From<SimError> for ExecError {
-    fn from(e: SimError) -> Self {
-        ExecError::Sim(e)
-    }
-}
-
-impl From<LabError> for ExecError {
-    fn from(e: LabError) -> Self {
-        ExecError::Lab(e)
-    }
-}
 
 /// Runs a parsed command, returning its printable output.
 ///
 /// # Errors
 ///
-/// Propagates simulator and campaign-runner errors.
-pub fn execute(cmd: Command) -> Result<String, ExecError> {
+/// Propagates simulator and campaign-runner errors as the unified
+/// [`DispersionError`].
+pub fn execute(cmd: Command) -> Result<String, DispersionError> {
     match cmd {
         Command::Help => Ok(HELP.to_string()),
         Command::Run {
@@ -82,6 +49,12 @@ pub fn execute(cmd: Command) -> Result<String, ExecError> {
             fresh,
             out_dir,
         } => campaign(spec, jobs, keep_traces, fresh, out_dir),
+        Command::Bench {
+            out,
+            label,
+            baseline,
+            quick,
+        } => bench(out, &label, baseline, quick),
         Command::Dot { network, n, k, seed } => Ok(dot(network, n, k, seed)?),
         Command::Trap { theorem, k, rounds } => Ok(trap(theorem, k, rounds)?),
         Command::LowerBound { k } => Ok(lower(k)?),
@@ -95,7 +68,7 @@ fn campaign(
     keep_traces: bool,
     fresh: bool,
     out_dir: String,
-) -> Result<String, ExecError> {
+) -> Result<String, DispersionError> {
     let opts = RunnerOptions {
         jobs,
         keep_traces,
@@ -117,6 +90,50 @@ fn campaign(
         artifact.display(),
         report.render(),
     ))
+}
+
+fn bench(
+    out: Option<String>,
+    label: &str,
+    baseline: Option<String>,
+    quick: bool,
+) -> Result<String, DispersionError> {
+    use dispersion_lab::throughput::{
+        engine_cases, extract_results_array, measure, render_bench_json, render_table,
+    };
+
+    let baseline = match baseline {
+        Some(path) => {
+            let doc = std::fs::read_to_string(&path)
+                .map_err(|e| DispersionError::Other(format!("{path}: {e}").into()))?;
+            let arr = extract_results_array(&doc).ok_or_else(|| {
+                DispersionError::Other(format!("{path}: no results array found").into())
+            })?;
+            let base_label = dispersion_lab::json::str_value(&doc.replace('\n', " "), "label")
+                .unwrap_or_else(|| "baseline".to_string());
+            Some((base_label, arr))
+        }
+        None => None,
+    };
+
+    let results: Vec<_> = engine_cases(quick).iter().map(measure).collect();
+    let doc = render_bench_json(
+        label,
+        &results,
+        baseline.as_ref().map(|(l, a)| (l.as_str(), a.as_str())),
+    );
+
+    let mut output = render_table(&results);
+    output.push('\n');
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &doc)
+                .map_err(|e| DispersionError::Other(format!("{path}: {e}").into()))?;
+            output.push_str(&format!("wrote {path}\n"));
+        }
+        None => output.push_str(&doc),
+    }
+    Ok(output)
 }
 
 fn make_network(kind: NetworkKind, n: usize, seed: u64) -> Box<dyn DynamicNetwork> {
@@ -156,14 +173,14 @@ fn run(
     } else {
         FaultPlan::none()
     };
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::new(),
         network,
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         initial,
-        SimOptions::default(),
-    )?
-    .with_faults(plan);
+    )
+    .faults(plan)
+    .build()?;
 
     let mut out = String::new();
     if json {
@@ -181,13 +198,14 @@ fn run(
             render::occupancy_strip(sim.configuration())
         ));
         loop {
-            match sim.step()? {
-                StepStatus::Dispersed => break,
-                StepStatus::Advanced(rec) => {
-                    out.push_str(&render::round_line(&rec, sim.configuration()));
-                    out.push('\n');
-                }
-            }
+            // The borrowed round output ends at the clone, freeing `sim`
+            // for the configuration read below.
+            let rec = match sim.step()? {
+                Step::Dispersed => break,
+                Step::Advanced(output) => output.record.clone(),
+            };
+            out.push_str(&render::round_line(&rec, sim.configuration()));
+            out.push('\n');
             if sim.round() > 10 * k as u64 + 100 {
                 out.push_str("(aborting: round budget exhausted)\n");
                 break;
@@ -248,7 +266,7 @@ fn dot(kind: NetworkKind, n: usize, k: usize, seed: u64) -> Result<String, SimEr
     }
     let oracle = StayOracle { config: &config };
     let g = network.graph_for_round(0, &config, &oracle);
-    Ok(dispersion_graph::dot::to_dot(&g, &|v| {
+    Ok(dispersion_graph::dot::to_dot(g, &|v| {
         let robots = config.robots_at(v);
         if robots.is_empty() {
             String::new()
@@ -273,13 +291,13 @@ fn sweep(kind: NetworkKind, max_k: usize, seeds: u64) -> Result<String, SimError
         let n = k + k / 2;
         let mut outcomes = Vec::new();
         for seed in 0..seeds {
-            let mut sim = Simulator::new(
+            let mut sim = Simulator::builder(
                 DispersionDynamic::new(),
                 make_network(kind, n, seed),
                 ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
                 Configuration::random(n, k, seed, true),
-                SimOptions::default(),
-            )?;
+            )
+            .build()?;
             outcomes.push(sim.run()?);
         }
         let summary = RunSummary::collect(&outcomes);
@@ -302,16 +320,14 @@ fn trap(theorem: u8, k: usize, rounds: u64) -> Result<String, SimError> {
     let mut out = String::new();
     match theorem {
         1 => {
-            let mut sim = Simulator::new(
+            let mut sim = Simulator::builder(
                 GreedyLocal::new(),
                 PathTrapAdversary::new(n),
                 ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
                 impossibility::near_dispersed_config(n, k),
-                SimOptions {
-                    max_rounds: rounds,
-                    ..SimOptions::default()
-                },
-            )?;
+            )
+            .max_rounds(rounds)
+            .build()?;
             let outcome = sim.run()?;
             out.push_str(&format!(
                 "Theorem 1 trap (local comm + 1-NK), k={k}, {rounds} rounds:\n\
@@ -322,16 +338,14 @@ fn trap(theorem: u8, k: usize, rounds: u64) -> Result<String, SimError> {
             ));
         }
         2 => {
-            let mut sim = Simulator::new(
+            let mut sim = Simulator::builder(
                 BlindGlobal::new(),
                 CliqueTrapAdversary::new(n),
                 ModelSpec::GLOBAL_BLIND,
                 impossibility::near_dispersed_config(n, k),
-                SimOptions {
-                    max_rounds: rounds,
-                    ..SimOptions::default()
-                },
-            )?;
+            )
+            .max_rounds(rounds)
+            .build()?;
             let outcome = sim.run()?;
             let new_nodes: usize = outcome
                 .trace
@@ -370,13 +384,13 @@ fn memory(max_k: usize) -> Result<String, SimError> {
     let mut k = 2usize;
     while k <= max_k {
         let n = k + k / 2 + 2;
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             EdgeChurnNetwork::new(n, 0.1, k as u64),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions::default(),
-        )?;
+        )
+        .build()?;
         let outcome = sim.run()?;
         out.push_str(&format!(
             "{:>4}  {:>12}  {:>13}\n",

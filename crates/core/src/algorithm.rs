@@ -4,12 +4,18 @@
 //! (global communication), rebuilds its connected component (Algorithm 1),
 //! the component spanning tree (Algorithm 2) and the disjoint root paths
 //! (Algorithm 3), and slides along the path it belongs to. All structures
-//! are recomputed from scratch in temporary memory — the only state a
-//! robot carries between rounds is its `⌈log k⌉`-bit identifier, giving
-//! the `Θ(log k)` memory bound of Theorem 4.
+//! live in temporary memory — the only state a robot carries between
+//! rounds is its `⌈log k⌉`-bit identifier, giving the `Θ(log k)` memory
+//! bound of Theorem 4. Because the structures are a pure function of the
+//! round's packets (shared by all robots under global communication), the
+//! simulator-side implementation memoizes them per packet set instead of
+//! rebuilding them `k` times — see [`ComputeCache`](self) for why this is
+//! observationally transparent.
+
+use std::cell::RefCell;
 
 use dispersion_engine::{
-    Action, DispersionAlgorithm, MemoryFootprint, RobotId, RobotView,
+    Action, DispersionAlgorithm, InfoPacket, MemoryFootprint, RobotId, RobotView,
 };
 
 use crate::component::ConnectedComponent;
@@ -41,29 +47,68 @@ impl MemoryFootprint for DynamicMemory {
 /// ```
 /// use dispersion_core::DispersionDynamic;
 /// use dispersion_engine::adversary::StarPairAdversary;
-/// use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+/// use dispersion_engine::{Configuration, ModelSpec, Simulator};
 /// use dispersion_graph::NodeId;
 ///
 /// # fn main() -> Result<(), dispersion_engine::SimError> {
 /// // Even against the Theorem 3 lower-bound adversary, k robots disperse
 /// // in exactly k − 1 rounds from a rooted configuration.
 /// let (n, k) = (12, 8);
-/// let outcome = Simulator::new(
+/// let outcome = Simulator::builder(
 ///     DispersionDynamic::new(),
 ///     StarPairAdversary::new(n),
 ///     ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
 ///     Configuration::rooted(n, k, NodeId::new(0)),
-///     SimOptions::default(),
-/// )?
+/// )
+/// .build()?
 /// .run()?;
 /// assert!(outcome.dispersed);
 /// assert_eq!(outcome.rounds, (k - 1) as u64);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct DispersionDynamic {
     policy: SlidingPolicy,
+    cache: RefCell<ComputeCache>,
+}
+
+impl Clone for DispersionDynamic {
+    fn clone(&self) -> Self {
+        // The memoization cache is derived state; a clone starts cold.
+        DispersionDynamic {
+            policy: self.policy,
+            cache: RefCell::new(ComputeCache::default()),
+        }
+    }
+}
+
+/// Memoized Algorithm 1→2→3 results for one packet set.
+///
+/// The component, tree, and path structures are pure functions of the
+/// round's packets (plus the tie-break policy), and with global
+/// communication every robot receives the same packets — so all robots in
+/// a component recompute identical structures. The cache keys on the full
+/// packet list (compared by value, so the oracle's speculative
+/// evaluations on candidate graphs invalidate it correctly) and stores
+/// one entry per component, built on first demand. This changes nothing
+/// observable: it is transparent memoization of deterministic
+/// computation, and the per-robot `Θ(log k)` persistent-memory claim is
+/// untouched (the cache is temporary, round-local state of the kind the
+/// model hands out for free).
+#[derive(Debug, Default)]
+struct ComputeCache {
+    packets: Vec<InfoPacket>,
+    components: Vec<CachedComponent>,
+}
+
+#[derive(Debug)]
+struct CachedComponent {
+    component: ConnectedComponent,
+    /// `None` when the component has no multiplicity node (its robots
+    /// hold still), in which case `paths` is `None` too.
+    tree: Option<SpanningTree>,
+    paths: Option<DisjointPathSet>,
 }
 
 impl DispersionDynamic {
@@ -76,7 +121,10 @@ impl DispersionDynamic {
     /// the ablation benches; every policy preserves the Θ(k)/Θ(log k)
     /// bounds).
     pub fn with_policy(policy: SlidingPolicy) -> Self {
-        DispersionDynamic { policy }
+        DispersionDynamic {
+            policy,
+            cache: RefCell::new(ComputeCache::default()),
+        }
     }
 
     /// The active tie-break policy.
@@ -103,20 +151,43 @@ impl DispersionAlgorithm for DispersionDynamic {
             return (Action::Stay, memory.clone());
         }
         let my_node = view.colocated[0];
-        let component = ConnectedComponent::build(&view.packets, my_node);
-        // A component without a multiplicity node builds no tree and its
-        // robots hold still this round.
-        let tree = if self.policy.bfs_tree {
-            SpanningTree::build_bfs(&component)
-        } else {
-            SpanningTree::build(&component)
+        let mut cache = self.cache.borrow_mut();
+        if cache.packets != view.packets {
+            cache.packets.clear();
+            cache.packets.extend_from_slice(&view.packets);
+            cache.components.clear();
+        }
+        let idx = match cache
+            .components
+            .iter()
+            .position(|e| e.component.contains(my_node))
+        {
+            Some(idx) => idx,
+            None => {
+                let component = ConnectedComponent::build(&cache.packets, my_node);
+                // A component without a multiplicity node builds no tree
+                // and its robots hold still this round.
+                let tree = if self.policy.bfs_tree {
+                    SpanningTree::build_bfs(&component)
+                } else {
+                    SpanningTree::build(&component)
+                };
+                let paths = tree.as_ref().map(|t| DisjointPathSet::build(&component, t));
+                cache.components.push(CachedComponent {
+                    component,
+                    tree,
+                    paths,
+                });
+                cache.components.len() - 1
+            }
         };
-        let Some(tree) = tree else {
+        let entry = &cache.components[idx];
+        let Some(tree) = &entry.tree else {
             return (Action::Stay, memory.clone());
         };
-        let paths = DisjointPathSet::build(&component, &tree);
+        let paths = entry.paths.as_ref().expect("paths built alongside the tree");
         (
-            sliding::decide_with_policy(view, &component, &tree, &paths, self.policy),
+            sliding::decide_with_policy(view, &entry.component, tree, paths, self.policy),
             memory.clone(),
         )
     }
@@ -128,20 +199,20 @@ mod tests {
     use dispersion_engine::adversary::{
         EdgeChurnNetwork, StarPairAdversary, StaticNetwork, TIntervalNetwork,
     };
-    use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+    use dispersion_engine::{Configuration, ModelSpec, Simulator};
     use dispersion_graph::{generators, NodeId};
 
     fn run<N: dispersion_engine::adversary::DynamicNetwork>(
         net: N,
         cfg: Configuration,
     ) -> dispersion_engine::SimOutcome {
-        Simulator::new(
+        Simulator::builder(
             DispersionDynamic::new(),
             net,
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             cfg,
-            SimOptions::default(),
         )
+        .build()
         .unwrap()
         .run()
         .unwrap()
@@ -177,13 +248,13 @@ mod tests {
         ];
         for (i, policy) in policies.into_iter().enumerate() {
             for seed in 0..3u64 {
-                let out = Simulator::new(
+                let out = Simulator::builder(
                     DispersionDynamic::with_policy(policy),
                     EdgeChurnNetwork::new(18, 0.15, seed),
                     ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
                     Configuration::random(18, 12, seed, true),
-                    SimOptions::default(),
                 )
+                .build()
                 .unwrap()
                 .run()
                 .unwrap();
@@ -219,17 +290,17 @@ mod tests {
                 )
             }),
         );
-        let multi = Simulator::new(
+        let multi = Simulator::builder(
             DispersionDynamic::new(),
             StaticNetwork::new(g.clone()),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             cfg.clone(),
-            SimOptions::default(),
         )
+        .build()
         .unwrap()
         .run()
         .unwrap();
-        let single = Simulator::new(
+        let single = Simulator::builder(
             DispersionDynamic::with_policy(SlidingPolicy {
                 single_path: true,
                 ..SlidingPolicy::default()
@@ -237,8 +308,8 @@ mod tests {
             StaticNetwork::new(g),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             cfg,
-            SimOptions::default(),
         )
+        .build()
         .unwrap()
         .run()
         .unwrap();

@@ -69,17 +69,17 @@ mod tests {
     use super::*;
     use crate::DispersionDynamic;
     use dispersion_engine::adversary::StarPairAdversary;
-    use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+    use dispersion_engine::{Configuration, ModelSpec, Simulator};
     use dispersion_graph::NodeId;
 
     fn star_pair_run(n: usize, k: usize) -> SimOutcome {
-        Simulator::new(
+        Simulator::builder(
             DispersionDynamic::new(),
             StarPairAdversary::new(n),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions::default(),
         )
+        .build()
         .unwrap()
         .run()
         .unwrap()

@@ -69,7 +69,7 @@ impl DispersionAlgorithm for BlindGlobal {
 mod tests {
     use super::*;
     use dispersion_engine::adversary::StaticNetwork;
-    use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+    use dispersion_engine::{Configuration, ModelSpec, Simulator};
     use dispersion_graph::{generators, NodeId};
 
     fn run_blind(
@@ -77,16 +77,14 @@ mod tests {
         cfg: Configuration,
         max_rounds: u64,
     ) -> dispersion_engine::SimOutcome {
-        Simulator::new(
+        Simulator::builder(
             BlindGlobal::new(),
             StaticNetwork::new(g),
             ModelSpec::GLOBAL_BLIND,
             cfg,
-            SimOptions {
-                max_rounds,
-                ..SimOptions::default()
-            },
         )
+        .max_rounds(max_rounds)
+        .build()
         .unwrap()
         .run()
         .unwrap()

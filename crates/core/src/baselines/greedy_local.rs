@@ -82,7 +82,7 @@ impl DispersionAlgorithm for GreedyLocal {
 mod tests {
     use super::*;
     use dispersion_engine::adversary::StaticNetwork;
-    use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+    use dispersion_engine::{Configuration, ModelSpec, Simulator};
     use dispersion_graph::{generators, NodeId};
 
     fn run_static(
@@ -90,16 +90,14 @@ mod tests {
         cfg: Configuration,
         max_rounds: u64,
     ) -> dispersion_engine::SimOutcome {
-        Simulator::new(
+        Simulator::builder(
             GreedyLocal::new(),
             StaticNetwork::new(g),
             ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
             cfg,
-            SimOptions {
-                max_rounds,
-                ..SimOptions::default()
-            },
         )
+        .max_rounds(max_rounds)
+        .build()
         .unwrap()
         .run()
         .unwrap()

@@ -186,21 +186,19 @@ impl DispersionAlgorithm for LocalDfs {
 mod tests {
     use super::*;
     use dispersion_engine::adversary::StaticNetwork;
-    use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+    use dispersion_engine::{Configuration, ModelSpec, Simulator};
     use dispersion_graph::{generators, NodeId, PortLabeledGraph};
 
     fn dfs_run(g: PortLabeledGraph, k: usize, root: u32) -> dispersion_engine::SimOutcome {
         let n = g.node_count();
-        Simulator::new(
+        Simulator::builder(
             LocalDfs::new(),
             StaticNetwork::new(g),
             ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new(root)),
-            SimOptions {
-                max_rounds: 50_000,
-                ..SimOptions::default()
-            },
         )
+        .max_rounds(50_000)
+        .build()
         .unwrap()
         .run()
         .unwrap()

@@ -85,7 +85,7 @@ impl DispersionAlgorithm for RandomWalk {
 mod tests {
     use super::*;
     use dispersion_engine::adversary::StaticNetwork;
-    use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+    use dispersion_engine::{Configuration, ModelSpec, Simulator};
     use dispersion_graph::{generators, NodeId};
 
     fn walk(
@@ -94,16 +94,14 @@ mod tests {
         seed: u64,
         max_rounds: u64,
     ) -> dispersion_engine::SimOutcome {
-        Simulator::new(
+        Simulator::builder(
             RandomWalk::new(seed),
             StaticNetwork::new(g),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             cfg,
-            SimOptions {
-                max_rounds,
-                ..SimOptions::default()
-            },
         )
+        .max_rounds(max_rounds)
+        .build()
         .unwrap()
         .run()
         .unwrap()

@@ -150,7 +150,7 @@ mod tests {
     use super::*;
     use crate::DispersionDynamic;
     use dispersion_engine::adversary::EdgeChurnNetwork;
-    use dispersion_engine::{ModelSpec, SimOptions, Simulator};
+    use dispersion_engine::{ModelSpec, Simulator};
     use dispersion_graph::NodeId;
 
     fn byz_run(
@@ -164,16 +164,14 @@ mod tests {
             set.iter().copied(),
             strategy,
         );
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             alg,
             EdgeChurnNetwork::new(14, 0.15, 5),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(14, 10, NodeId::new(0)),
-            SimOptions {
-                max_rounds,
-                ..SimOptions::default()
-            },
         )
+        .max_rounds(max_rounds)
+        .build()
         .unwrap();
         (sim.run().unwrap(), set)
     }

@@ -1,0 +1,89 @@
+//! The single error story of the dispersion stack.
+//!
+//! Each layer keeps its own precise error type — [`GraphError`] for
+//! malformed graphs, [`SimError`] for runtime model violations — and this
+//! module folds them into one [`DispersionError`] that front ends (the
+//! CLI, experiment binaries) can surface with a single `?`. Crates above
+//! `dispersion-core` (e.g. the lab's `LabError`) hook in through the
+//! [`DispersionError::Other`] escape hatch or their own `From` impls.
+
+use std::error::Error;
+use std::fmt;
+
+use dispersion_engine::SimError;
+use dispersion_graph::GraphError;
+
+/// Any error the dispersion stack can produce, unified for front ends.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DispersionError {
+    /// A malformed or model-violating graph (port labels, connectivity).
+    Graph(GraphError),
+    /// A simulator failure (invalid adversary graph, illegal move, too
+    /// many robots).
+    Sim(SimError),
+    /// An error from a layer above the core (campaign runner I/O, spec
+    /// mismatches, …), carried opaquely.
+    Other(Box<dyn Error + Send + Sync + 'static>),
+}
+
+impl fmt::Display for DispersionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispersionError::Graph(e) => write!(f, "graph error: {e}"),
+            DispersionError::Sim(e) => write!(f, "simulation error: {e}"),
+            DispersionError::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for DispersionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DispersionError::Graph(e) => Some(e),
+            DispersionError::Sim(e) => Some(e),
+            DispersionError::Other(e) => Some(e.as_ref()),
+        }
+    }
+}
+
+impl From<GraphError> for DispersionError {
+    fn from(e: GraphError) -> Self {
+        DispersionError::Graph(e)
+    }
+}
+
+impl From<SimError> for DispersionError {
+    fn from(e: SimError) -> Self {
+        DispersionError::Sim(e)
+    }
+}
+
+impl From<Box<dyn Error + Send + Sync + 'static>> for DispersionError {
+    fn from(e: Box<dyn Error + Send + Sync + 'static>) -> Self {
+        DispersionError::Other(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_graph_and_sim_errors() {
+        let g: DispersionError = GraphError::Disconnected.into();
+        assert!(g.to_string().contains("graph error"));
+        assert!(g.source().is_some());
+        let s: DispersionError = SimError::TooManyRobots { k: 5, n: 3 }.into();
+        assert!(s.to_string().contains("simulation error"));
+        assert!(s.to_string().contains("5 robots"));
+    }
+
+    #[test]
+    fn wraps_foreign_errors() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing artifact");
+        let e: DispersionError = DispersionError::Other(Box::new(io));
+        assert!(e.to_string().contains("missing artifact"));
+        assert!(e.source().is_some());
+    }
+}

@@ -27,14 +27,16 @@ pub fn run_with_faults<N: DynamicNetwork>(
     faults: FaultPlan,
     options: SimOptions,
 ) -> Result<SimOutcome, SimError> {
-    Simulator::new(
+    Simulator::builder(
         DispersionDynamic::new(),
         network,
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         initial,
-        options,
     )
-    .and_then(|sim| sim.with_faults(faults).run())
+    .options(options)
+    .faults(faults)
+    .build()
+    .and_then(|mut sim| sim.run())
 }
 
 /// Theorem 5's runtime claim, concrete form: with `f` crashes the run

@@ -14,9 +14,7 @@
 //! the proof promises to do to every algorithm.
 
 use dispersion_engine::adversary::{CliqueTrapAdversary, PathTrapAdversary};
-use dispersion_engine::{
-    Configuration, ModelSpec, RobotId, SimError, SimOptions, Simulator,
-};
+use dispersion_engine::{Configuration, ModelSpec, RobotId, SimError, Simulator};
 use dispersion_graph::NodeId;
 
 use crate::baselines::{BlindGlobal, GreedyLocal};
@@ -62,16 +60,14 @@ pub fn near_dispersed_config(n: usize, k: usize) -> Configuration {
 ///
 /// Propagates simulator errors.
 pub fn run_path_trap(n: usize, k: usize, rounds: u64) -> Result<TrapReport, SimError> {
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         GreedyLocal::new(),
         PathTrapAdversary::new(n),
         ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
         near_dispersed_config(n, k),
-        SimOptions {
-            max_rounds: rounds,
-            ..SimOptions::default()
-        },
-    )?;
+    )
+    .max_rounds(rounds)
+    .build()?;
     let outcome = sim.run()?;
     let total_new_nodes = outcome
         .trace
@@ -96,16 +92,14 @@ pub fn run_path_trap(n: usize, k: usize, rounds: u64) -> Result<TrapReport, SimE
 ///
 /// Propagates simulator errors.
 pub fn run_clique_trap(n: usize, k: usize, rounds: u64) -> Result<TrapReport, SimError> {
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         BlindGlobal::new(),
         CliqueTrapAdversary::new(n),
         ModelSpec::GLOBAL_BLIND,
         near_dispersed_config(n, k),
-        SimOptions {
-            max_rounds: rounds,
-            ..SimOptions::default()
-        },
-    )?;
+    )
+    .max_rounds(rounds)
+    .build()?;
     let outcome = sim.run()?;
     let total_new_nodes = outcome
         .trace
@@ -132,13 +126,13 @@ pub fn run_clique_trap(n: usize, k: usize, rounds: u64) -> Result<TrapReport, Si
 ///
 /// Propagates simulator errors.
 pub fn run_control_with_full_model(n: usize, k: usize) -> Result<u64, SimError> {
-    let outcome = Simulator::new(
+    let outcome = Simulator::builder(
         crate::DispersionDynamic::new(),
         dispersion_engine::adversary::EdgeChurnNetwork::new(n, 0.2, 7),
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         near_dispersed_config(n, k),
-        SimOptions::default(),
-    )?
+    )
+    .build()?
     .run()?;
     assert!(outcome.dispersed);
     Ok(outcome.rounds)

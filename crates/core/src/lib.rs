@@ -33,18 +33,18 @@
 //! ```
 //! use dispersion_core::DispersionDynamic;
 //! use dispersion_engine::adversary::EdgeChurnNetwork;
-//! use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+//! use dispersion_engine::{Configuration, ModelSpec, Simulator};
 //! use dispersion_graph::NodeId;
 //!
 //! # fn main() -> Result<(), dispersion_engine::SimError> {
 //! let (n, k) = (20, 12);
-//! let mut sim = Simulator::new(
+//! let mut sim = Simulator::builder(
 //!     DispersionDynamic::new(),
 //!     EdgeChurnNetwork::new(n, 0.15, 7),
 //!     ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
 //!     Configuration::rooted(n, k, NodeId::new(0)),
-//!     SimOptions::default(),
-//! )?;
+//! )
+//! .build()?;
 //! let outcome = sim.run()?;
 //! assert!(outcome.dispersed);
 //! assert!(outcome.rounds <= k as u64); // Theorem 4: O(k) rounds
@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+mod error;
 
 pub mod analysis;
 pub mod baselines;
@@ -71,6 +72,7 @@ pub mod spanning_tree;
 pub mod worked_example;
 
 pub use algorithm::{DispersionDynamic, DynamicMemory};
+pub use error::DispersionError;
 pub use component::ConnectedComponent;
 pub use paths::{DisjointPathSet, RootPath};
 pub use round::{ComponentStructures, RoundComputation};

@@ -8,7 +8,7 @@
 
 use dispersion_engine::adversary::StarPairAdversary;
 use dispersion_engine::{
-    Configuration, ModelSpec, SimError, SimOptions, SimOutcome, Simulator,
+    Configuration, ModelSpec, SimError, SimOutcome, Simulator, TracePolicy,
 };
 use dispersion_graph::NodeId;
 
@@ -56,16 +56,14 @@ impl LowerBoundReport {
 ///
 /// Panics if the run fails to disperse (Algorithm 4 always does).
 pub fn run_lower_bound(n: usize, k: usize) -> Result<LowerBoundReport, SimError> {
-    let outcome: SimOutcome = Simulator::new(
+    let outcome: SimOutcome = Simulator::builder(
         DispersionDynamic::new(),
         StarPairAdversary::new(n),
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         Configuration::rooted(n, k, NodeId::new(0)),
-        SimOptions {
-            record_graphs: true,
-            ..SimOptions::default()
-        },
-    )?
+    )
+    .trace(TracePolicy::RoundsAndGraphs)
+    .build()?
     .run()?;
     assert!(outcome.dispersed, "Algorithm 4 must disperse (Theorem 4)");
     let max_new_per_round = outcome

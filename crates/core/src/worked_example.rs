@@ -207,18 +207,16 @@ mod tests {
     fn one_round_of_sliding_gains_a_node_per_component() {
         use crate::DispersionDynamic;
         use dispersion_engine::adversary::StaticNetwork;
-        use dispersion_engine::{ModelSpec, SimOptions, Simulator};
+        use dispersion_engine::{ModelSpec, Simulator};
         let ex = build();
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             StaticNetwork::new(ex.graph.clone()),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             ex.config.clone(),
-            SimOptions {
-                max_rounds: 1,
-                ..SimOptions::default()
-            },
         )
+        .max_rounds(1)
+        .build()
         .unwrap();
         let out = sim.run().unwrap();
         // Both components had a multiplicity; each occupied ≥ 1 new node.
@@ -232,15 +230,15 @@ mod tests {
     fn full_dispersion_from_fixture() {
         use crate::DispersionDynamic;
         use dispersion_engine::adversary::StaticNetwork;
-        use dispersion_engine::{ModelSpec, SimOptions, Simulator};
+        use dispersion_engine::{ModelSpec, Simulator};
         let ex = build();
-        let out = Simulator::new(
+        let out = Simulator::builder(
             DispersionDynamic::new(),
             StaticNetwork::new(ex.graph.clone()),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             ex.config,
-            SimOptions::default(),
         )
+        .build()
         .unwrap()
         .run()
         .unwrap();

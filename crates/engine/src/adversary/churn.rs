@@ -15,6 +15,8 @@ pub struct EdgeChurnNetwork {
     n: usize,
     extra_edge_prob: f64,
     seed: u64,
+    /// The graph of the last round, lent out to the simulator.
+    current: Option<PortLabeledGraph>,
 }
 
 impl EdgeChurnNetwork {
@@ -34,6 +36,7 @@ impl EdgeChurnNetwork {
             n,
             extra_edge_prob,
             seed,
+            current: None,
         }
     }
 
@@ -58,8 +61,9 @@ impl DynamicNetwork for EdgeChurnNetwork {
         round: u64,
         _config: &Configuration,
         _oracle: &dyn MoveOracle,
-    ) -> PortLabeledGraph {
-        self.graph_at(round)
+    ) -> &PortLabeledGraph {
+        let g = self.graph_at(round);
+        self.current.insert(g)
     }
 
     fn name(&self) -> &str {
@@ -83,7 +87,7 @@ mod tests {
             let g = net.graph_for_round(r, &cfg, &oracle);
             assert_eq!(g.node_count(), 20);
             g.validate().unwrap();
-            assert!(is_connected(&g), "round {r} disconnected");
+            assert!(is_connected(g), "round {r} disconnected");
         }
     }
 
@@ -106,9 +110,9 @@ mod tests {
         let mut net = EdgeChurnNetwork::new(15, 0.15, 3);
         let cfg = Configuration::rooted(15, 2, NodeId::new(0));
         let oracle = NullOracle { config: &cfg };
-        let g0 = net.graph_for_round(0, &cfg, &oracle);
+        let g0 = net.graph_for_round(0, &cfg, &oracle).clone();
         let g1 = net.graph_for_round(1, &cfg, &oracle);
-        assert_ne!(g0, g1, "churn should change the topology");
+        assert_ne!(&g0, g1, "churn should change the topology");
         assert_eq!(net.name(), "edge-churn");
     }
 

@@ -33,6 +33,8 @@ pub struct CliqueTrapAdversary {
     /// theorem predicts zero at the trap configuration; nonzero values
     /// mean the run started elsewhere).
     trap_misses: u64,
+    /// The graph of the last round, lent out to the simulator.
+    current: Option<PortLabeledGraph>,
 }
 
 impl CliqueTrapAdversary {
@@ -43,7 +45,11 @@ impl CliqueTrapAdversary {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one node");
-        CliqueTrapAdversary { n, trap_misses: 0 }
+        CliqueTrapAdversary {
+            n,
+            trap_misses: 0,
+            current: None,
+        }
     }
 
     /// Number of rounds in which the adversary could not fully prevent
@@ -206,21 +212,21 @@ impl DynamicNetwork for CliqueTrapAdversary {
         _round: u64,
         config: &Configuration,
         oracle: &dyn MoveOracle,
-    ) -> PortLabeledGraph {
+    ) -> &PortLabeledGraph {
         let occ = config.occupied_nodes();
         let occ_set: BTreeSet<NodeId> = occ.iter().copied().collect();
         let empty: Vec<NodeId> = (0..self.n as u32)
             .map(NodeId::new)
             .filter(|v| !occ_set.contains(v))
             .collect();
-        if let Some(g) = self.try_remove_edge(&occ, &empty, oracle) {
-            return g;
-        }
-        if let Some(g) = self.try_attach(&occ, &empty, oracle) {
-            return g;
-        }
-        self.trap_misses += 1;
-        self.best_effort(&occ, &empty)
+        let g = self
+            .try_remove_edge(&occ, &empty, oracle)
+            .or_else(|| self.try_attach(&occ, &empty, oracle))
+            .unwrap_or_else(|| {
+                self.trap_misses += 1;
+                self.best_effort(&occ, &empty)
+            });
+        self.current.insert(g)
     }
 
     fn name(&self) -> &str {
@@ -255,7 +261,7 @@ mod tests {
         let oracle = NullOracle { config: &cfg };
         let g = adv.graph_for_round(0, &cfg, &oracle);
         g.validate().unwrap();
-        assert!(is_connected(&g));
+        assert!(is_connected(g));
         assert_eq!(g.node_count(), 10);
         // Against all-stay robots any edge is unused: zero misses.
         assert_eq!(adv.trap_misses(), 0);
@@ -269,7 +275,7 @@ mod tests {
         let oracle = NullOracle { config: &cfg };
         let g = adv.graph_for_round(0, &cfg, &oracle);
         g.validate().unwrap();
-        assert!(is_connected(&g));
+        assert!(is_connected(g));
         assert_eq!(adv.trap_misses(), 0);
     }
 

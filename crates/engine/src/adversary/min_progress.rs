@@ -23,6 +23,8 @@ pub struct MinProgressSampler {
     seed: u64,
     /// Progress the committed graph allowed, per round (for reporting).
     progress_history: Vec<usize>,
+    /// The graph of the last round, lent out to the simulator.
+    current: Option<PortLabeledGraph>,
 }
 
 impl MinProgressSampler {
@@ -46,6 +48,7 @@ impl MinProgressSampler {
             extra_edge_prob,
             seed,
             progress_history: Vec::new(),
+            current: None,
         }
     }
 
@@ -77,7 +80,7 @@ impl DynamicNetwork for MinProgressSampler {
         round: u64,
         _config: &Configuration,
         oracle: &dyn MoveOracle,
-    ) -> PortLabeledGraph {
+    ) -> &PortLabeledGraph {
         let mut best: Option<(usize, PortLabeledGraph)> = None;
         for i in 0..self.candidates_per_round {
             let g = self.candidate(round, i);
@@ -93,7 +96,7 @@ impl DynamicNetwork for MinProgressSampler {
         }
         let (progress, g) = best.expect("at least one candidate");
         self.progress_history.push(progress);
-        g
+        self.current.insert(g)
     }
 
     fn name(&self) -> &str {
@@ -116,7 +119,7 @@ mod tests {
         for r in 0..5 {
             let g = adv.graph_for_round(r, &cfg, &oracle);
             g.validate().unwrap();
-            assert!(is_connected(&g));
+            assert!(is_connected(g));
         }
         // All-stay robots make zero progress on any graph.
         assert_eq!(adv.progress_history(), &[0, 0, 0, 0, 0]);

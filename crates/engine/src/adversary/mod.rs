@@ -55,19 +55,26 @@ use crate::{Configuration, MoveOracle};
 /// valid port labels, and be connected (1-interval connectivity). The
 /// simulator re-validates by default and fails the run otherwise.
 ///
+/// The graph is returned *by reference*: the network owns the storage and
+/// the simulator borrows it for the round, so static and periodic
+/// networks hand out the same allocation every round and generated
+/// adversaries keep one cached slot. An unchanged graph also lets the
+/// simulator skip re-validation.
+///
 /// [`node_count`]: DynamicNetwork::node_count
 pub trait DynamicNetwork {
     /// The fixed number of nodes `n`.
     fn node_count(&self) -> usize;
 
     /// The graph of round `round`, chosen with full knowledge of the live
-    /// `config` and white-box access to the algorithm via `oracle`.
+    /// `config` and white-box access to the algorithm via `oracle`. The
+    /// reference stays valid until the next call.
     fn graph_for_round(
         &mut self,
         round: u64,
         config: &Configuration,
         oracle: &dyn MoveOracle,
-    ) -> PortLabeledGraph;
+    ) -> &PortLabeledGraph;
 
     /// Human-readable adversary name for traces and reports.
     fn name(&self) -> &str {
@@ -85,7 +92,7 @@ impl<N: DynamicNetwork + ?Sized> DynamicNetwork for Box<N> {
         round: u64,
         config: &Configuration,
         oracle: &dyn MoveOracle,
-    ) -> PortLabeledGraph {
+    ) -> &PortLabeledGraph {
         (**self).graph_for_round(round, config, oracle)
     }
 
@@ -123,8 +130,8 @@ impl DynamicNetwork for StaticNetwork {
         _round: u64,
         _config: &Configuration,
         _oracle: &dyn MoveOracle,
-    ) -> PortLabeledGraph {
-        self.graph.clone()
+    ) -> &PortLabeledGraph {
+        &self.graph
     }
 
     fn name(&self) -> &str {
@@ -171,8 +178,8 @@ impl DynamicNetwork for PeriodicNetwork {
         round: u64,
         _config: &Configuration,
         _oracle: &dyn MoveOracle,
-    ) -> PortLabeledGraph {
-        self.graphs[(round as usize) % self.graphs.len()].clone()
+    ) -> &PortLabeledGraph {
+        &self.graphs[(round as usize) % self.graphs.len()]
     }
 
     fn name(&self) -> &str {
@@ -194,8 +201,8 @@ mod tests {
         assert_eq!(net.name(), "static");
         let cfg = Configuration::rooted(5, 2, dispersion_graph::NodeId::new(0));
         let oracle = NullOracle { config: &cfg };
-        assert_eq!(net.graph_for_round(0, &cfg, &oracle), g);
-        assert_eq!(net.graph_for_round(7, &cfg, &oracle), g);
+        assert_eq!(*net.graph_for_round(0, &cfg, &oracle), g);
+        assert_eq!(*net.graph_for_round(7, &cfg, &oracle), g);
         assert_eq!(net.graph(), &g);
     }
 
@@ -207,9 +214,9 @@ mod tests {
         assert_eq!(net.period(), 2);
         let cfg = Configuration::rooted(4, 2, dispersion_graph::NodeId::new(0));
         let oracle = NullOracle { config: &cfg };
-        assert_eq!(net.graph_for_round(0, &cfg, &oracle), a);
-        assert_eq!(net.graph_for_round(1, &cfg, &oracle), b);
-        assert_eq!(net.graph_for_round(2, &cfg, &oracle), a);
+        assert_eq!(*net.graph_for_round(0, &cfg, &oracle), a);
+        assert_eq!(*net.graph_for_round(1, &cfg, &oracle), b);
+        assert_eq!(*net.graph_for_round(2, &cfg, &oracle), a);
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub struct PathTrapAdversary {
     /// the proof needs only a tiny corner of it).
     probe_budget: usize,
     trap_misses: u64,
+    /// The graph of the last round, lent out to the simulator.
+    current: Option<PortLabeledGraph>,
 }
 
 impl PathTrapAdversary {
@@ -48,6 +50,7 @@ impl PathTrapAdversary {
             n,
             probe_budget: 20_000,
             trap_misses: 0,
+            current: None,
         }
     }
 
@@ -134,7 +137,7 @@ impl DynamicNetwork for PathTrapAdversary {
         _round: u64,
         config: &Configuration,
         oracle: &dyn MoveOracle,
-    ) -> PortLabeledGraph {
+    ) -> &PortLabeledGraph {
         let occ = config.occupied_nodes();
         let occ_set: std::collections::BTreeSet<NodeId> = occ.iter().copied().collect();
         let empty: Vec<NodeId> = (0..self.n as u32)
@@ -143,7 +146,8 @@ impl DynamicNetwork for PathTrapAdversary {
             .collect();
         let mut probes = 0usize;
         let mut fallback: Option<PortLabeledGraph> = None;
-        for order in Self::orderings(config) {
+        let mut committed: Option<PortLabeledGraph> = None;
+        'search: for order in Self::orderings(config) {
             let alpha = order.len();
             let mask_bits = alpha.min(20) as u32;
             for mask in 0..(1u64 << mask_bits) {
@@ -157,12 +161,16 @@ impl DynamicNetwork for PathTrapAdversary {
                 }
                 let moves = oracle.moves_on(&g);
                 if Self::keeps_multiplicity(&moves) {
-                    return g;
+                    committed = Some(g);
+                    break 'search;
                 }
             }
         }
-        self.trap_misses += 1;
-        fallback.expect("at least one candidate was built")
+        let g = committed.unwrap_or_else(|| {
+            self.trap_misses += 1;
+            fallback.expect("at least one candidate was built")
+        });
+        self.current.insert(g)
     }
 
     fn name(&self) -> &str {
@@ -198,7 +206,7 @@ mod tests {
         let oracle = NullOracle { config: &cfg };
         let g = adv.graph_for_round(0, &cfg, &oracle);
         g.validate().unwrap();
-        assert!(is_connected(&g));
+        assert!(is_connected(g));
         // Path over all 9 nodes: 8 edges, max degree 2.
         assert_eq!(g.edge_count(), 8);
         assert_eq!(g.max_degree(), 2);
@@ -249,6 +257,6 @@ mod tests {
         let oracle = NullOracle { config: &cfg };
         let g = adv.graph_for_round(0, &cfg, &oracle);
         g.validate().unwrap();
-        assert!(is_connected(&g));
+        assert!(is_connected(g));
     }
 }

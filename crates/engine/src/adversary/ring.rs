@@ -23,6 +23,8 @@ pub struct DynamicRingNetwork {
     n: usize,
     drop_one_edge: bool,
     seed: u64,
+    /// The graph of the last round, lent out to the simulator.
+    current: Option<PortLabeledGraph>,
 }
 
 impl DynamicRingNetwork {
@@ -38,6 +40,7 @@ impl DynamicRingNetwork {
             n,
             drop_one_edge,
             seed,
+            current: None,
         }
     }
 
@@ -77,8 +80,9 @@ impl DynamicNetwork for DynamicRingNetwork {
         round: u64,
         _config: &Configuration,
         _oracle: &dyn MoveOracle,
-    ) -> PortLabeledGraph {
-        self.graph_at(round)
+    ) -> &PortLabeledGraph {
+        let g = self.graph_at(round);
+        self.current.insert(g)
     }
 
     fn name(&self) -> &str {
@@ -104,7 +108,7 @@ mod tests {
         for r in 0..10 {
             let g = net.graph_for_round(r, &cfg, &oracle);
             g.validate().unwrap();
-            assert!(is_connected(&g));
+            assert!(is_connected(g));
             assert_eq!(g.edge_count(), 9);
             assert!(g.nodes().all(|v| g.degree(v) == 2), "round {r}: 2-regular");
         }
@@ -118,7 +122,7 @@ mod tests {
         let oracle = NullOracle { config: &cfg };
         for r in 0..10 {
             let g = net.graph_for_round(r, &cfg, &oracle);
-            assert!(is_connected(&g));
+            assert!(is_connected(g));
             assert_eq!(g.edge_count(), 7);
             let deg1 = g.nodes().filter(|&v| g.degree(v) == 1).count();
             assert_eq!(deg1, 2, "round {r}: exactly two path endpoints");
@@ -136,10 +140,8 @@ mod tests {
             a.graph_for_round(0, &cfg, &oracle),
             b.graph_for_round(0, &cfg, &oracle)
         );
-        assert_ne!(
-            a.graph_for_round(0, &cfg, &oracle),
-            a.graph_for_round(1, &cfg, &oracle)
-        );
+        let g0 = a.graph_for_round(0, &cfg, &oracle).clone();
+        assert_ne!(&g0, a.graph_for_round(1, &cfg, &oracle));
     }
 
     #[test]

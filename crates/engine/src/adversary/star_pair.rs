@@ -19,6 +19,8 @@ use crate::{Configuration, MoveOracle};
 #[derive(Clone, Debug)]
 pub struct StarPairAdversary {
     n: usize,
+    /// The graph of the last round, lent out to the simulator.
+    current: Option<PortLabeledGraph>,
 }
 
 impl StarPairAdversary {
@@ -29,7 +31,7 @@ impl StarPairAdversary {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one node");
-        StarPairAdversary { n }
+        StarPairAdversary { n, current: None }
     }
 
     /// Builds the round graph for a given occupied-node set (exposed for
@@ -82,8 +84,9 @@ impl DynamicNetwork for StarPairAdversary {
         _round: u64,
         config: &Configuration,
         _oracle: &dyn MoveOracle,
-    ) -> PortLabeledGraph {
-        self.build(&config.occupied_indicator())
+    ) -> &PortLabeledGraph {
+        let g = self.build(&config.occupied_indicator());
+        self.current.insert(g)
     }
 
     fn name(&self) -> &str {

@@ -21,6 +21,8 @@ pub struct TIntervalNetwork {
     t: u64,
     extra_edge_prob: f64,
     seed: u64,
+    /// The graph of the last round, lent out to the simulator.
+    current: Option<PortLabeledGraph>,
 }
 
 impl TIntervalNetwork {
@@ -42,6 +44,7 @@ impl TIntervalNetwork {
             t,
             extra_edge_prob,
             seed,
+            current: None,
         }
     }
 
@@ -92,8 +95,9 @@ impl DynamicNetwork for TIntervalNetwork {
         round: u64,
         _config: &Configuration,
         _oracle: &dyn MoveOracle,
-    ) -> PortLabeledGraph {
-        self.graph_at(round)
+    ) -> &PortLabeledGraph {
+        let g = self.graph_at(round);
+        self.current.insert(g)
     }
 
     fn name(&self) -> &str {
@@ -125,10 +129,10 @@ mod tests {
         let cfg = Configuration::rooted(10, 2, NodeId::new(0));
         let oracle = NullOracle { config: &cfg };
         for r in 0..9 {
+            let tree = net.stable_tree(r);
             let g = net.graph_for_round(r, &cfg, &oracle);
             g.validate().unwrap();
-            assert!(is_connected(&g));
-            let tree = net.stable_tree(r);
+            assert!(is_connected(g));
             for e in tree.edges() {
                 assert!(
                     g.has_edge(e.u, e.v),
@@ -145,9 +149,9 @@ mod tests {
         let mut net = TIntervalNetwork::new(8, 1, 0.0, 2);
         let cfg = Configuration::rooted(8, 2, NodeId::new(0));
         let oracle = NullOracle { config: &cfg };
-        let g0 = net.graph_for_round(0, &cfg, &oracle);
+        let g0 = net.graph_for_round(0, &cfg, &oracle).clone();
         let g1 = net.graph_for_round(1, &cfg, &oracle);
-        assert_ne!(g0, g1);
+        assert_ne!(&g0, g1);
         assert_eq!(net.name(), "t-interval");
     }
 

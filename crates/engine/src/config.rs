@@ -1,7 +1,5 @@
 //! Robot configurations: which robot stands on which node.
 
-use std::collections::BTreeMap;
-
 use dispersion_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -12,10 +10,30 @@ use crate::RobotId;
 /// A configuration `Conf_r = {pos_r(a_i)}`: the placement of the *live*
 /// robots on the nodes of an `n`-node graph (Section II). Crashed robots
 /// are simply absent.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Internally Vec-backed and counting: positions are indexed by robot ID
+/// and per-node multiplicities are maintained incrementally, so the
+/// queries the simulator's round loop needs — [`node_of`], [`count_at`],
+/// [`occupied_count`], [`is_dispersed`] — are all `O(1)` and
+/// allocation-free.
+///
+/// [`node_of`]: Configuration::node_of
+/// [`count_at`]: Configuration::count_at
+/// [`occupied_count`]: Configuration::occupied_count
+/// [`is_dispersed`]: Configuration::is_dispersed
+#[derive(Clone, Debug)]
 pub struct Configuration {
     n: usize,
-    pos: BTreeMap<RobotId, NodeId>,
+    /// `pos[i]` is the node of robot `i+1` (`None` = absent/crashed).
+    pos: Vec<Option<NodeId>>,
+    /// Live robots.
+    live: usize,
+    /// `counts[v]` = robots currently at node `v`.
+    counts: Vec<u32>,
+    /// Nodes with `counts ≥ 1`.
+    occupied: usize,
+    /// Nodes with `counts ≥ 2`.
+    multiplicity: usize,
 }
 
 impl Configuration {
@@ -26,13 +44,46 @@ impl Configuration {
     ///
     /// Panics if a node index is out of range or a robot appears twice.
     pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (RobotId, NodeId)>) -> Self {
-        let mut pos = BTreeMap::new();
+        let mut cfg = Configuration {
+            n,
+            pos: Vec::new(),
+            live: 0,
+            counts: vec![0; n],
+            occupied: 0,
+            multiplicity: 0,
+        };
         for (r, v) in pairs {
             assert!(v.index() < n, "node {v} out of range for n={n}");
-            let prev = pos.insert(r, v);
-            assert!(prev.is_none(), "robot {r} placed twice");
+            let i = (r.get() - 1) as usize;
+            if i >= cfg.pos.len() {
+                cfg.pos.resize(i + 1, None);
+            }
+            assert!(cfg.pos[i].is_none(), "robot {r} placed twice");
+            cfg.pos[i] = Some(v);
+            cfg.live += 1;
+            cfg.add_count(v);
         }
-        Configuration { n, pos }
+        cfg
+    }
+
+    fn add_count(&mut self, v: NodeId) {
+        let c = &mut self.counts[v.index()];
+        *c += 1;
+        match *c {
+            1 => self.occupied += 1,
+            2 => self.multiplicity += 1,
+            _ => {}
+        }
+    }
+
+    fn sub_count(&mut self, v: NodeId) {
+        let c = &mut self.counts[v.index()];
+        *c -= 1;
+        match *c {
+            0 => self.occupied -= 1,
+            1 => self.multiplicity -= 1,
+            _ => {}
+        }
     }
 
     /// The *rooted* initial configuration: all `k` robots on one node
@@ -87,50 +138,46 @@ impl Configuration {
 
     /// Number of live robots.
     pub fn robot_count(&self) -> usize {
-        self.pos.len()
+        self.live
     }
 
     /// Whether no live robots remain.
     pub fn is_empty(&self) -> bool {
-        self.pos.is_empty()
+        self.live == 0
     }
 
     /// Position of a live robot, or `None` if absent/crashed.
     pub fn node_of(&self, r: RobotId) -> Option<NodeId> {
-        self.pos.get(&r).copied()
+        self.pos.get((r.get() - 1) as usize).copied().flatten()
     }
 
     /// All live robots at `v`, sorted ascending by ID.
     pub fn robots_at(&self, v: NodeId) -> Vec<RobotId> {
-        self.pos
-            .iter()
-            .filter(|&(_, &w)| w == v)
-            .map(|(&r, _)| r)
+        self.iter()
+            .filter(|&(_, w)| w == v)
+            .map(|(r, _)| r)
             .collect()
     }
 
     /// Number of live robots at `v` (`count(v)` in the paper).
     pub fn count_at(&self, v: NodeId) -> usize {
-        self.pos.values().filter(|&&w| w == v).count()
+        self.counts[v.index()] as usize
     }
 
     /// The smallest-ID robot at `v` (the node's representative, supplying
     /// the node's identity in Algorithm 1), if any.
     pub fn min_robot_at(&self, v: NodeId) -> Option<RobotId> {
-        self.pos
-            .iter()
-            .filter(|&(_, &w)| w == v)
-            .map(|(&r, _)| r)
-            .min()
+        self.iter().find(|&(_, w)| w == v).map(|(r, _)| r)
     }
 
     /// Occupied nodes, ascending, with their robot counts.
     pub fn occupancy(&self) -> Vec<(NodeId, usize)> {
-        let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
-        for &v in self.pos.values() {
-            *counts.entry(v).or_insert(0) += 1;
-        }
-        counts.into_iter().collect()
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(v, &c)| (NodeId::new(v as u32), c as usize))
+            .collect()
     }
 
     /// Occupied nodes only, ascending.
@@ -140,36 +187,36 @@ impl Configuration {
 
     /// Number of occupied nodes (`α` in the paper).
     pub fn occupied_count(&self) -> usize {
-        self.occupancy().len()
+        self.occupied
     }
 
     /// Boolean indicator over node indices: `true` where occupied.
     pub fn occupied_indicator(&self) -> Vec<bool> {
-        let mut ind = vec![false; self.n];
-        for &v in self.pos.values() {
-            ind[v.index()] = true;
-        }
-        ind
+        self.counts.iter().map(|&c| c > 0).collect()
     }
 
     /// Multiplicity nodes (two or more robots), ascending.
     pub fn multiplicity_nodes(&self) -> Vec<NodeId> {
-        self.occupancy()
-            .into_iter()
-            .filter(|&(_, c)| c >= 2)
-            .map(|(v, _)| v)
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= 2)
+            .map(|(v, _)| NodeId::new(v as u32))
             .collect()
     }
 
     /// Whether the live robots form a dispersion configuration: no
     /// multiplicity node (Definition 1 / Definition 6).
     pub fn is_dispersed(&self) -> bool {
-        self.multiplicity_nodes().is_empty()
+        self.multiplicity == 0
     }
 
     /// Iterator over live `(robot, node)` placements in ID order.
     pub fn iter(&self) -> impl Iterator<Item = (RobotId, NodeId)> + '_ {
-        self.pos.iter().map(|(&r, &v)| (r, v))
+        self.pos
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (RobotId::new(i as u32 + 1), v)))
     }
 
     /// Moves robot `r` to `v`.
@@ -179,16 +226,40 @@ impl Configuration {
     /// Panics if `r` is not live or `v` is out of range.
     pub fn set_position(&mut self, r: RobotId, v: NodeId) {
         assert!(v.index() < self.n, "node out of range");
-        let slot = self.pos.get_mut(&r).expect("robot not live");
-        *slot = v;
+        let from = self
+            .pos
+            .get((r.get() - 1) as usize)
+            .copied()
+            .flatten()
+            .expect("robot not live");
+        if from == v {
+            return;
+        }
+        self.sub_count(from);
+        self.add_count(v);
+        self.pos[(r.get() - 1) as usize] = Some(v);
     }
 
     /// Removes robot `r` (crash). Returns its last position, or `None` if
     /// it was already absent.
     pub fn remove(&mut self, r: RobotId) -> Option<NodeId> {
-        self.pos.remove(&r)
+        let slot = self.pos.get_mut((r.get() - 1) as usize)?;
+        let v = slot.take()?;
+        self.live -= 1;
+        self.sub_count(v);
+        Some(v)
     }
 }
+
+impl PartialEq for Configuration {
+    fn eq(&self, other: &Self) -> bool {
+        // Position vectors may differ in trailing-`None` length after
+        // crashes; compare the live placements, not the raw buffers.
+        self.n == other.n && self.live == other.live && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Configuration {}
 
 #[cfg(test)]
 mod tests {
@@ -252,6 +323,41 @@ mod tests {
         assert_eq!(c.remove(r(2)), None);
         assert_eq!(c.robot_count(), 1);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn counts_track_through_moves_and_crashes() {
+        let mut c = Configuration::from_pairs(4, [(r(1), v(0)), (r(2), v(0)), (r(3), v(1))]);
+        assert_eq!(c.occupied_count(), 2);
+        assert!(!c.is_dispersed());
+        // Moving onto an occupied node keeps α, creates a new multiplicity.
+        c.set_position(r(3), v(0));
+        assert_eq!(c.occupied_count(), 1);
+        assert_eq!(c.count_at(v(0)), 3);
+        // Self-move is a no-op.
+        c.set_position(r(3), v(0));
+        assert_eq!(c.count_at(v(0)), 3);
+        c.set_position(r(2), v(2));
+        c.set_position(r(3), v(3));
+        assert!(c.is_dispersed());
+        assert_eq!(c.occupied_count(), 3);
+        c.remove(r(1));
+        assert_eq!(c.occupied_count(), 2);
+        assert!(c.is_dispersed());
+    }
+
+    #[test]
+    fn equality_ignores_crash_holes() {
+        let mut a = Configuration::from_pairs(4, [(r(1), v(0)), (r(3), v(2))]);
+        let b = Configuration::from_pairs(4, [(r(1), v(0)), (r(3), v(2))]);
+        assert_eq!(a, b);
+        let mut c = Configuration::from_pairs(4, [(r(1), v(0)), (r(3), v(2)), (r(4), v(3))]);
+        assert_ne!(a, c);
+        c.remove(r(4));
+        // `c` has a trailing hole where robot 4 was; still equal.
+        assert_eq!(a, c);
+        a.remove(r(3));
+        assert_ne!(a, c);
     }
 
     #[test]

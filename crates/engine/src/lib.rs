@@ -79,8 +79,10 @@ pub use error::SimError;
 pub use faults::{CrashEvent, CrashPhase, FaultPlan};
 pub use model::{Activation, CommModel, ModelSpec};
 pub use oracle::{MoveOracle, ResolvedMove};
-pub use packet::{build_packets, InfoPacket, NeighborReport};
+pub use packet::{
+    build_own_packet_into, build_packets, build_packets_into, InfoPacket, NeighborReport,
+};
 pub use robot::RobotId;
-pub use sim::{SimOptions, SimOutcome, Simulator, StepStatus};
-pub use trace::{ExecutionTrace, RoundRecord};
-pub use view::{build_view, build_views, NeighborObservation, RobotView};
+pub use sim::{RoundOutput, SimOptions, SimOutcome, Simulator, SimulatorBuilder, Step};
+pub use trace::{ExecutionTrace, RoundRecord, TracePolicy};
+pub use view::{build_view, build_views, write_node_view, NeighborObservation, RobotView};

@@ -61,28 +61,28 @@ pub trait MoveOracle {
 }
 
 /// The engine's oracle: borrows the live algorithm, memories and
-/// configuration of the current round.
+/// configuration of the current round. Per-robot tables are dense slices
+/// indexed by [`RobotId::index`] (`None` = crashed).
 pub(crate) struct EngineOracle<'a, A: DispersionAlgorithm> {
     pub algorithm: &'a A,
-    pub memories: &'a std::collections::BTreeMap<RobotId, A::Memory>,
+    pub memories: &'a [Option<A::Memory>],
     pub config: &'a Configuration,
     pub model: ModelSpec,
     pub round: u64,
     pub k: usize,
-    pub arrival_ports: &'a std::collections::BTreeMap<RobotId, dispersion_graph::Port>,
+    pub arrival_ports: &'a [Option<dispersion_graph::Port>],
 }
 
 impl<'a, A: DispersionAlgorithm> MoveOracle for EngineOracle<'a, A> {
     fn moves_on(&self, g: &PortLabeledGraph) -> Vec<ResolvedMove> {
         let views = build_views(g, self.config, self.model, self.round, self.k, &|r| {
-            self.arrival_ports.get(&r).copied()
+            self.arrival_ports[r.index()]
         });
         views
             .into_iter()
             .map(|(robot, view)| {
-                let mem = self
-                    .memories
-                    .get(&robot)
+                let mem = self.memories[robot.index()]
+                    .as_ref()
                     .expect("live robots have memories");
                 let (action, _) = self.algorithm.step(&view, mem);
                 let from = self.config.node_of(robot).expect("robot is live");
@@ -143,7 +143,6 @@ mod tests {
     use crate::algorithm::MemoryFootprint;
     use crate::RobotView;
     use dispersion_graph::{generators, Port};
-    use std::collections::BTreeMap;
 
     /// Test algorithm: every robot except the smallest on its node exits
     /// through port 1.
@@ -178,9 +177,8 @@ mod tests {
     fn oracle_resolves_moves_and_progress() {
         let g = generators::path(4).unwrap();
         let config = Configuration::rooted(4, 3, NodeId::new(1));
-        let memories: BTreeMap<RobotId, Nil> =
-            (1..=3).map(|i| (RobotId::new(i), Nil)).collect();
-        let arrivals = BTreeMap::new();
+        let memories: Vec<Option<Nil>> = vec![Some(Nil); 3];
+        let arrivals: Vec<Option<Port>> = vec![None; 3];
         let alg = SpillPortOne;
         let oracle = EngineOracle {
             algorithm: &alg,
@@ -227,8 +225,8 @@ mod tests {
         }
         let g = generators::path(2).unwrap();
         let config = Configuration::rooted(2, 1, NodeId::new(0));
-        let memories: BTreeMap<RobotId, Nil> = [(RobotId::new(1), Nil)].into();
-        let arrivals = BTreeMap::new();
+        let memories: Vec<Option<Nil>> = vec![Some(Nil)];
+        let arrivals: Vec<Option<Port>> = vec![None];
         let alg = PortTwo;
         let oracle = EngineOracle {
             algorithm: &alg,

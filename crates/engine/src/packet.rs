@@ -69,6 +69,10 @@ impl InfoPacket {
 /// Builds the packets of round `r`: one per occupied node, ascending by
 /// sender ID. `neighborhood` controls whether sensing fields are filled.
 ///
+/// Allocating convenience over [`build_packets_into`], used by the
+/// adversary oracle and tests; the simulator's round loop uses the
+/// `_into` form with reused buffers.
+///
 /// # Panics
 ///
 /// Panics if the configuration refers to nodes outside `g`.
@@ -82,47 +86,116 @@ pub fn build_packets(
         config.node_count(),
         "configuration/graph size mismatch"
     );
-    let mut packets: Vec<InfoPacket> = config
-        .occupancy()
-        .into_iter()
-        .map(|(v, count)| build_packet_at(g, config, v, count, neighborhood))
-        .collect();
-    packets.sort_by_key(|p| p.sender);
+    let mut node_robots: Vec<Vec<RobotId>> = vec![Vec::new(); g.node_count()];
+    let mut occupied = Vec::new();
+    for (r, v) in config.iter() {
+        let row = &mut node_robots[v.index()];
+        if row.is_empty() {
+            occupied.push(v);
+        }
+        row.push(r);
+    }
+    let mut packets = Vec::new();
+    build_packets_into(g, &node_robots, &occupied, neighborhood, &mut packets);
     packets
 }
 
-fn build_packet_at(
+/// Writes the round's packets into `out`, one per node of `occupied`,
+/// sorted ascending by sender — overwriting `out`'s previous contents
+/// in place so a warm buffer makes the whole construction
+/// allocation-free.
+///
+/// `node_robots[w]` must list the live robots at node `w`, ascending;
+/// rows of unoccupied nodes must be empty.
+pub fn build_packets_into(
     g: &PortLabeledGraph,
-    config: &Configuration,
-    v: NodeId,
-    count: usize,
+    node_robots: &[Vec<RobotId>],
+    occupied: &[NodeId],
     neighborhood: bool,
-) -> InfoPacket {
-    let robots = config.robots_at(v);
+    out: &mut Vec<InfoPacket>,
+) {
+    for (slot, &v) in occupied.iter().enumerate() {
+        write_packet_slot(g, node_robots, v, neighborhood, out, slot);
+    }
+    out.truncate(occupied.len());
+    // Senders are distinct (one packet per node), so an in-place
+    // unstable sort is deterministic and allocation-free.
+    out.sort_unstable_by_key(|p| p.sender);
+}
+
+/// Writes only node `v`'s own packet into `out[0]` — the Communicate
+/// phase under *local* communication, where a robot receives nothing
+/// from other nodes.
+pub fn build_own_packet_into(
+    g: &PortLabeledGraph,
+    node_robots: &[Vec<RobotId>],
+    v: NodeId,
+    neighborhood: bool,
+    out: &mut Vec<InfoPacket>,
+) {
+    write_packet_slot(g, node_robots, v, neighborhood, out, 0);
+    out.truncate(1);
+}
+
+/// Writes the packet of occupied node `v` into `out[slot]`, reusing that
+/// slot's buffers (appending a fresh packet only when `out` is short).
+///
+/// # Panics
+///
+/// Panics if `v` is unoccupied or `slot > out.len()`.
+fn write_packet_slot(
+    g: &PortLabeledGraph,
+    node_robots: &[Vec<RobotId>],
+    v: NodeId,
+    neighborhood: bool,
+    out: &mut Vec<InfoPacket>,
+    slot: usize,
+) {
+    let robots = &node_robots[v.index()];
     let sender = robots[0];
-    let (degree, occupied_neighbors) = if neighborhood {
-        let mut reports = Vec::new();
+    if slot == out.len() {
+        out.push(InfoPacket {
+            sender,
+            count: 0,
+            robots: Vec::new(),
+            degree: None,
+            occupied_neighbors: None,
+        });
+    }
+    let p = &mut out[slot];
+    p.sender = sender;
+    p.count = robots.len();
+    p.robots.clear();
+    p.robots.extend_from_slice(robots);
+    if neighborhood {
+        p.degree = Some(g.degree(v));
+        let reports = p.occupied_neighbors.get_or_insert_with(Vec::new);
+        let mut filled = 0usize;
         for (port, w, _) in g.neighbors(v) {
-            let nbr_robots = config.robots_at(w);
-            if let Some(&min_robot) = nbr_robots.first() {
+            let nbrs = &node_robots[w.index()];
+            let Some(&min_robot) = nbrs.first() else {
+                continue;
+            };
+            if let Some(rep) = reports.get_mut(filled) {
+                rep.port = port;
+                rep.min_robot = min_robot;
+                rep.count = nbrs.len();
+                rep.robots.clear();
+                rep.robots.extend_from_slice(nbrs);
+            } else {
                 reports.push(NeighborReport {
                     port,
                     min_robot,
-                    count: nbr_robots.len(),
-                    robots: nbr_robots,
+                    count: nbrs.len(),
+                    robots: nbrs.clone(),
                 });
             }
+            filled += 1;
         }
-        (Some(g.degree(v)), Some(reports))
+        reports.truncate(filled);
     } else {
-        (None, None)
-    };
-    InfoPacket {
-        sender,
-        count,
-        robots,
-        degree,
-        occupied_neighbors,
+        p.degree = None;
+        p.occupied_neighbors = None;
     }
 }
 
@@ -200,6 +273,41 @@ mod tests {
             assert_eq!(p.occupied_neighbors, None);
             assert_eq!(p.has_empty_neighbor(), None);
         }
+    }
+
+    #[test]
+    fn warm_buffer_reuse_matches_fresh_build() {
+        let g = generators::path(5).unwrap();
+        let c1 = Configuration::from_pairs(
+            5,
+            [(r(3), v(1)), (r(5), v(1)), (r(2), v(2)), (r(1), v(4))],
+        );
+        let c2 = Configuration::from_pairs(5, [(r(1), v(0)), (r(2), v(3))]);
+        let index = |c: &Configuration| {
+            let mut rows: Vec<Vec<RobotId>> = vec![Vec::new(); 5];
+            let mut occ = Vec::new();
+            for (robot, node) in c.iter() {
+                if rows[node.index()].is_empty() {
+                    occ.push(node);
+                }
+                rows[node.index()].push(robot);
+            }
+            (rows, occ)
+        };
+        // Fill the buffer from the big configuration, then overwrite with
+        // the small one: stale packets/reports must not survive.
+        let mut buf = Vec::new();
+        let (rows, occ) = index(&c1);
+        build_packets_into(&g, &rows, &occ, true, &mut buf);
+        assert_eq!(buf, build_packets(&g, &c1, true));
+        let (rows, occ) = index(&c2);
+        build_packets_into(&g, &rows, &occ, true, &mut buf);
+        assert_eq!(buf, build_packets(&g, &c2, true));
+        // Own-packet form picks exactly node v's packet.
+        let (rows, _) = index(&c1);
+        build_own_packet_into(&g, &rows, v(1), true, &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0], build_packets(&g, &c1, true)[2]);
     }
 
     #[test]

@@ -23,6 +23,12 @@ impl RobotId {
         self.0
     }
 
+    /// Returns the 0-based index (`get() - 1`), for dense per-robot
+    /// tables.
+    pub const fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
     /// Number of persistent bits needed to store an ID drawn from `[1, k]`:
     /// `⌈log₂ k⌉` (and at least 1).
     pub fn bits_for_population(k: usize) -> usize {

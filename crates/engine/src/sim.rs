@@ -1,19 +1,29 @@
 //! The synchronous Communicate–Compute–Move simulator.
+//!
+//! The round loop is engineered to be **allocation-free in steady state**:
+//! all per-round working memory lives in a [`RoundScratch`] owned by the
+//! [`Simulator`] — a Vec-backed robot-at-node index, one reusable
+//! [`RobotView`] whose packet and observation buffers are overwritten in
+//! place, a cached copy of the last validated adversary graph (an
+//! unchanged graph skips re-validation entirely), and a reusable round
+//! record. With [`TracePolicy::Off`] a warm [`Simulator::step`] performs
+//! no heap allocation at all; `crates/engine/tests/alloc_budget.rs`
+//! enforces this with a counting global allocator.
 
-use std::collections::BTreeMap;
-
-use dispersion_graph::connectivity::is_connected;
+use dispersion_graph::connectivity::{is_connected_with, DisjointSets};
 use dispersion_graph::dynamics::GraphSequence;
-use dispersion_graph::{GraphError, Port};
+use dispersion_graph::{GraphError, NodeId, Port, PortLabeledGraph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::adversary::DynamicNetwork;
 use crate::oracle::EngineOracle;
-use crate::view::build_views;
+use crate::packet::{build_own_packet_into, build_packets_into};
+use crate::view::write_node_view;
 use crate::{
-    Action, Activation, Configuration, CrashPhase, DispersionAlgorithm, ExecutionTrace,
-    FaultPlan, MemoryFootprint, ModelSpec, RobotId, RoundRecord, SimError,
+    Action, Activation, CommModel, Configuration, CrashPhase, DispersionAlgorithm,
+    ExecutionTrace, FaultPlan, MemoryFootprint, ModelSpec, RobotId, RobotView, RoundRecord,
+    SimError, TracePolicy,
 };
 
 /// Tunables for a run.
@@ -21,11 +31,12 @@ use crate::{
 pub struct SimOptions {
     /// Hard round cap; the run reports `dispersed = false` when exceeded.
     pub max_rounds: u64,
-    /// Record every adversary graph into the trace (costly for large runs,
-    /// invaluable for audits).
-    pub record_graphs: bool,
-    /// Re-validate every adversary graph (connectivity, port labeling,
-    /// fixed node count). Disable only in benchmarks of trusted networks.
+    /// What the simulator retains across rounds (records, graphs, or
+    /// nothing — the allocation-free benchmark mode).
+    pub trace: TracePolicy,
+    /// Re-validate adversary graphs (connectivity, port labeling, fixed
+    /// node count). Validation is incremental: a graph identical to the
+    /// last validated one is skipped, so static networks pay it once.
     pub validate_graphs: bool,
     /// Robot activation schedule (the paper's model is [`Activation::FullSync`]).
     pub activation: Activation,
@@ -35,7 +46,7 @@ impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
             max_rounds: 100_000,
-            record_graphs: false,
+            trace: TracePolicy::Rounds,
             validate_graphs: true,
             activation: Activation::FullSync,
         }
@@ -57,7 +68,8 @@ pub struct SimOutcome {
     pub crashes: usize,
     /// Final placement of the live robots.
     pub final_config: Configuration,
-    /// Per-round records (and graphs, if recorded).
+    /// Per-round records (and graphs, if recorded). Empty under
+    /// [`TracePolicy::Off`].
     pub trace: ExecutionTrace,
 }
 
@@ -68,14 +80,234 @@ impl SimOutcome {
     }
 }
 
+/// Borrowed view of the round a [`Simulator::step`] just executed.
+///
+/// The record lives in the simulator's reusable scratch: it is valid
+/// until the next `step` and never cloned on the hot path. Clone the
+/// record if it must outlive the borrow.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RoundOutput<'a> {
+    /// What happened this round.
+    pub record: &'a RoundRecord,
+}
+
 /// Result of a single [`Simulator::step`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum StepStatus {
+#[derive(Debug, PartialEq, Eq)]
+pub enum Step<'a> {
     /// The live robots were already dispersed when the round began;
     /// nothing was executed.
     Dispersed,
-    /// One round executed; the record describes it.
-    Advanced(RoundRecord),
+    /// One round executed; the borrowed output describes it.
+    Advanced(RoundOutput<'a>),
+}
+
+/// Reusable per-round working memory — the heart of the allocation-free
+/// hot path. Buffers are cleared and overwritten, never dropped, so after
+/// a warm-up round every capacity is already in place.
+struct RoundScratch {
+    /// Live robots at each node, ascending by ID. Only rows listed in
+    /// `occupied` are in use; every other row is empty (rows are cleared
+    /// lazily, touching only the nodes dirtied by the previous round).
+    node_robots: Vec<Vec<RobotId>>,
+    /// Nodes with at least one robot, in first-encounter (robot-ID)
+    /// order.
+    occupied: Vec<NodeId>,
+    /// The one view handed to every robot's Compute, rewritten in place.
+    view: RobotView,
+    /// Node `view` currently describes, so consecutive robots on one node
+    /// (the common case early in a rooted run) skip the rewrite.
+    view_node: Option<NodeId>,
+    /// The record of the round in flight / just finished.
+    last_record: RoundRecord,
+    /// Warm union-find for the per-round connectivity check.
+    union_find: DisjointSets,
+    /// The last adversary graph that passed validation; producing an
+    /// identical graph (every static network, and dynamic ones between
+    /// changes) skips validation and connectivity entirely.
+    validated: Option<PortLabeledGraph>,
+}
+
+impl RoundScratch {
+    fn new(n: usize, per_node_capacity: usize) -> Self {
+        let row = Vec::with_capacity(per_node_capacity);
+        RoundScratch {
+            node_robots: vec![row; n],
+            occupied: Vec::new(),
+            view: RobotView {
+                round: 0,
+                me: RobotId::new(1),
+                k: 0,
+                degree: 0,
+                arrival_port: None,
+                colocated: Vec::new(),
+                neighbors: None,
+                packets: Vec::new(),
+            },
+            view_node: None,
+            last_record: RoundRecord {
+                round: 0,
+                occupied_before: 0,
+                occupied_after: 0,
+                newly_occupied: 0,
+                moves: 0,
+                crashed: Vec::new(),
+                max_memory_bits: 0,
+            },
+            union_find: DisjointSets::new(n),
+            validated: None,
+        }
+    }
+}
+
+/// Configures and constructs a [`Simulator`] — the only way to build one.
+///
+/// ```
+/// use dispersion_engine::adversary::StaticNetwork;
+/// use dispersion_engine::{
+///     Configuration, ModelSpec, Simulator, TracePolicy,
+/// };
+/// use dispersion_graph::{generators, NodeId};
+///
+/// # use dispersion_engine::{Action, DispersionAlgorithm, MemoryFootprint, RobotId, RobotView};
+/// # struct Frozen;
+/// # #[derive(Clone)]
+/// # struct NoMemory;
+/// # impl MemoryFootprint for NoMemory { fn persistent_bits(&self) -> usize { 0 } }
+/// # impl DispersionAlgorithm for Frozen {
+/// #     type Memory = NoMemory;
+/// #     fn name(&self) -> &'static str { "frozen" }
+/// #     fn init(&self, _me: RobotId, _k: usize) -> NoMemory { NoMemory }
+/// #     fn step(&self, _v: &RobotView, _m: &NoMemory) -> (Action, NoMemory) {
+/// #         (Action::Stay, NoMemory)
+/// #     }
+/// # }
+/// let mut sim = Simulator::builder(
+///     Frozen,
+///     StaticNetwork::new(generators::path(4).unwrap()),
+///     ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+///     Configuration::rooted(4, 2, NodeId::new(0)),
+/// )
+/// .max_rounds(10)
+/// .trace(TracePolicy::Off)
+/// .build()
+/// .unwrap();
+/// let outcome = sim.run().unwrap();
+/// assert!(!outcome.dispersed);
+/// ```
+pub struct SimulatorBuilder<A: DispersionAlgorithm, N: DynamicNetwork> {
+    algorithm: A,
+    network: N,
+    model: ModelSpec,
+    initial: Configuration,
+    options: SimOptions,
+    faults: FaultPlan,
+    scratch_capacity: usize,
+}
+
+impl<A: DispersionAlgorithm, N: DynamicNetwork> SimulatorBuilder<A, N> {
+    /// Starts a builder with default options (trace rounds, validate
+    /// graphs, full-sync activation, no faults).
+    pub fn new(algorithm: A, network: N, model: ModelSpec, initial: Configuration) -> Self {
+        SimulatorBuilder {
+            algorithm,
+            network,
+            model,
+            initial,
+            options: SimOptions::default(),
+            faults: FaultPlan::none(),
+            scratch_capacity: 0,
+        }
+    }
+
+    /// Replaces all options at once.
+    pub fn options(mut self, options: SimOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Hard round cap for [`Simulator::run`].
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.options.max_rounds = max_rounds;
+        self
+    }
+
+    /// What the simulator retains across rounds.
+    pub fn trace(mut self, trace: TracePolicy) -> Self {
+        self.options.trace = trace;
+        self
+    }
+
+    /// Whether adversary graphs are re-validated (on by default).
+    pub fn validate_graphs(mut self, validate: bool) -> Self {
+        self.options.validate_graphs = validate;
+        self
+    }
+
+    /// Robot activation schedule.
+    pub fn activation(mut self, activation: Activation) -> Self {
+        self.options.activation = activation;
+        self
+    }
+
+    /// Installs a crash-fault schedule (Section VII).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Pre-reserves scratch capacity for `robots_per_node` robots on
+    /// every node's index row, avoiding even the warm-up allocations.
+    /// Purely an optimization hint; 0 (the default) allocates lazily.
+    pub fn scratch_capacity(mut self, robots_per_node: usize) -> Self {
+        self.scratch_capacity = robots_per_node;
+        self
+    }
+
+    /// Builds the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyRobots`] if the configuration holds more
+    /// robots than the network has nodes.
+    pub fn build(self) -> Result<Simulator<A, N>, SimError> {
+        let k = self.initial.robot_count();
+        let n = self.network.node_count();
+        if k > n {
+            return Err(SimError::TooManyRobots { k, n });
+        }
+        let max_index = self
+            .initial
+            .iter()
+            .map(|(r, _)| r.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut memories: Vec<Option<A::Memory>> = Vec::with_capacity(max_index);
+        memories.resize_with(max_index, || None);
+        for (r, _) in self.initial.iter() {
+            memories[r.index()] = Some(self.algorithm.init(r, k));
+        }
+        let ever_occupied = self.initial.occupied_indicator();
+        let recorded_graphs = self.options.trace.graphs().then(GraphSequence::new);
+        let scratch = RoundScratch::new(n, self.scratch_capacity);
+        Ok(Simulator {
+            algorithm: self.algorithm,
+            network: self.network,
+            model: self.model,
+            options: self.options,
+            faults: self.faults,
+            k,
+            config: self.initial,
+            memories,
+            arrival_ports: vec![None; max_index],
+            ever_occupied,
+            round: 0,
+            records: Vec::new(),
+            recorded_graphs,
+            total_crashes: 0,
+            decisions: Vec::new(),
+            scratch,
+        })
+    }
 }
 
 /// The synchronous CCM simulator (Section II).
@@ -91,6 +323,8 @@ pub enum StepStatus {
 /// 4. *Compute*: run the pure `step` of every activated robot;
 /// 5. apply `AfterCompute` crashes (those robots vanish without moving);
 /// 6. *Move*: apply the surviving actions simultaneously.
+///
+/// Construct via [`Simulator::builder`] / [`SimulatorBuilder`].
 pub struct Simulator<A: DispersionAlgorithm, N: DynamicNetwork> {
     algorithm: A,
     network: N,
@@ -99,62 +333,42 @@ pub struct Simulator<A: DispersionAlgorithm, N: DynamicNetwork> {
     faults: FaultPlan,
     k: usize,
     config: Configuration,
-    memories: BTreeMap<RobotId, A::Memory>,
-    arrival_ports: BTreeMap<RobotId, Port>,
+    /// Per-robot state, indexed by [`RobotId::index`]; `None` = crashed.
+    memories: Vec<Option<A::Memory>>,
+    arrival_ports: Vec<Option<Port>>,
     ever_occupied: Vec<bool>,
     round: u64,
     records: Vec<RoundRecord>,
     recorded_graphs: Option<GraphSequence>,
     total_crashes: usize,
+    /// Reused across rounds; drained during Move.
+    decisions: Vec<(RobotId, Action, A::Memory)>,
+    scratch: RoundScratch,
+}
+
+fn activated(activation: Activation, round: u64, robot: RobotId) -> bool {
+    match activation {
+        Activation::FullSync => true,
+        Activation::SemiSync { p_percent, seed } => {
+            let mix = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(round.wrapping_mul(0xff51_afd7_ed55_8ccd))
+                .wrapping_add(u64::from(robot.get()));
+            let mut rng = StdRng::seed_from_u64(mix);
+            rng.random_range(0..100u8) < p_percent
+        }
+    }
 }
 
 impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
-    /// Creates a fault-free simulator.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::TooManyRobots`] if the configuration holds more
-    /// robots than the network has nodes.
-    pub fn new(
+    /// Starts a [`SimulatorBuilder`].
+    pub fn builder(
         algorithm: A,
         network: N,
         model: ModelSpec,
         initial: Configuration,
-        options: SimOptions,
-    ) -> Result<Self, SimError> {
-        let k = initial.robot_count();
-        let n = network.node_count();
-        if k > n {
-            return Err(SimError::TooManyRobots { k, n });
-        }
-        let memories = initial
-            .iter()
-            .map(|(r, _)| (r, algorithm.init(r, k)))
-            .collect();
-        let ever_occupied = initial.occupied_indicator();
-        let recorded_graphs = options.record_graphs.then(GraphSequence::new);
-        Ok(Simulator {
-            algorithm,
-            network,
-            model,
-            options,
-            faults: FaultPlan::none(),
-            k,
-            config: initial,
-            memories,
-            arrival_ports: BTreeMap::new(),
-            ever_occupied,
-            round: 0,
-            records: Vec::new(),
-            recorded_graphs,
-            total_crashes: 0,
-        })
-    }
-
-    /// Installs a crash-fault schedule (Section VII).
-    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
-        self
+    ) -> SimulatorBuilder<A, N> {
+        SimulatorBuilder::new(algorithm, network, model, initial)
     }
 
     /// The live configuration (before or after `run`).
@@ -167,24 +381,24 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
         &self.network
     }
 
-    fn activated(&self, round: u64, robot: RobotId) -> bool {
-        match self.options.activation {
-            Activation::FullSync => true,
-            Activation::SemiSync { p_percent, seed } => {
-                let mix = seed
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add(round.wrapping_mul(0xff51_afd7_ed55_8ccd))
-                    .wrapping_add(u64::from(robot.get()));
-                let mut rng = StdRng::seed_from_u64(mix);
-                rng.random_range(0..100u8) < p_percent
-            }
+    fn crash(&mut self, r: RobotId) -> bool {
+        if self.config.remove(r).is_none() {
+            return false;
         }
+        self.memories[r.index()] = None;
+        self.arrival_ports[r.index()] = None;
+        self.scratch.last_record.crashed.push(r);
+        self.total_crashes += 1;
+        true
     }
 
     /// Executes a single CCM round (or detects that the live robots are
     /// already dispersed). Gives callers round-by-round control — e.g.
     /// to inspect the configuration, inject decisions between rounds, or
     /// drive visualizations; [`Simulator::run`] is a loop over this.
+    ///
+    /// The returned [`RoundOutput`] borrows the simulator's reusable
+    /// record — nothing is cloned unless tracing is on.
     ///
     /// `step` ignores [`SimOptions::max_rounds`]; the cap belongs to
     /// `run`'s loop.
@@ -193,25 +407,21 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
     ///
     /// Returns an error if the adversary produces an invalid graph or a
     /// robot requests a nonexistent port.
-    pub fn step(&mut self) -> Result<StepStatus, SimError> {
+    pub fn step(&mut self) -> Result<Step<'_>, SimError> {
         let round = self.round;
         // Phase 0: before-Communicate crashes.
-        let mut crashed_this_round = Vec::new();
+        self.scratch.last_record.crashed.clear();
         for r in self.faults.crashes_at(round, CrashPhase::BeforeCommunicate) {
-            if self.config.remove(r).is_some() {
-                self.memories.remove(&r);
-                self.arrival_ports.remove(&r);
-                crashed_this_round.push(r);
-            }
+            self.crash(r);
         }
-        self.total_crashes += crashed_this_round.len();
 
         if self.config.is_dispersed() {
-            return Ok(StepStatus::Dispersed);
+            return Ok(Step::Dispersed);
         }
 
-        // Adversary picks G_r.
-        let g = {
+        // Adversary picks G_r. The graph is borrowed from the network for
+        // the rest of the round — no per-round copy.
+        let g: &PortLabeledGraph = {
             let oracle = EngineOracle {
                 algorithm: &self.algorithm,
                 memories: &self.memories,
@@ -223,7 +433,9 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
             };
             self.network.graph_for_round(round, &self.config, &oracle)
         };
-        if self.options.validate_graphs {
+        if self.options.validate_graphs
+            && self.scratch.validated.as_ref() != Some(g)
+        {
             if g.node_count() != self.config.node_count() {
                 return Err(SimError::BadAdversaryGraph {
                     round,
@@ -235,49 +447,104 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
             }
             g.validate()
                 .and_then(|()| {
-                    if is_connected(&g) {
+                    if is_connected_with(g, &mut self.scratch.union_find) {
                         Ok(())
                     } else {
                         Err(GraphError::Disconnected)
                     }
                 })
                 .map_err(|source| SimError::BadAdversaryGraph { round, source })?;
+            match &mut self.scratch.validated {
+                Some(cache) => cache.clone_from(g),
+                cache @ None => *cache = Some(g.clone()),
+            }
         }
 
         let occupied_before = self.config.occupied_count();
 
-        // Communicate + Compute (pure; memories updated after Move).
-        let views = build_views(&g, &self.config, self.model, round, self.k, &|r| {
-            self.arrival_ports.get(&r).copied()
-        });
-        let mut decisions: Vec<(RobotId, Action, A::Memory)> = Vec::new();
-        for (robot, view) in &views {
-            if !self.activated(round, *robot) {
+        // Rebuild the robot-at-node index, clearing only the rows the
+        // previous round dirtied.
+        for &v in &self.scratch.occupied {
+            self.scratch.node_robots[v.index()].clear();
+        }
+        self.scratch.occupied.clear();
+        for (r, v) in self.config.iter() {
+            let row = &mut self.scratch.node_robots[v.index()];
+            if row.is_empty() {
+                self.scratch.occupied.push(v);
+            }
+            row.push(r);
+        }
+
+        // Communicate: under global communication every robot receives the
+        // same packet list — build it once into the shared view.
+        let neighborhood = self.model.neighborhood;
+        if self.model.comm == CommModel::Global {
+            build_packets_into(
+                g,
+                &self.scratch.node_robots,
+                &self.scratch.occupied,
+                neighborhood,
+                &mut self.scratch.view.packets,
+            );
+        }
+        self.scratch.view.round = round;
+        self.scratch.view.k = self.k;
+        self.scratch.view_node = None;
+
+        // Compute (pure; memories updated after Move). The per-node parts
+        // of the view are rewritten only when the node changes.
+        for (robot, v) in self.config.iter() {
+            if !activated(self.options.activation, round, robot) {
                 continue;
             }
-            let mem = &self.memories[robot];
-            let (action, next) = self.algorithm.step(view, mem);
-            decisions.push((*robot, action, next));
+            if self.scratch.view_node != Some(v) {
+                write_node_view(g, &self.scratch.node_robots, v, neighborhood, &mut self.scratch.view);
+                if self.model.comm == CommModel::Local {
+                    build_own_packet_into(
+                        g,
+                        &self.scratch.node_robots,
+                        v,
+                        neighborhood,
+                        &mut self.scratch.view.packets,
+                    );
+                }
+                self.scratch.view_node = Some(v);
+            }
+            self.scratch.view.me = robot;
+            self.scratch.view.arrival_port = self.arrival_ports[robot.index()];
+            let mem = self.memories[robot.index()]
+                .as_ref()
+                .expect("live robots have memories");
+            let (action, next) = self.algorithm.step(&self.scratch.view, mem);
+            self.decisions.push((robot, action, next));
         }
 
         // After-Compute crashes: these robots vanish without moving.
+        // (Inlined crash bookkeeping: `self.crash` would re-borrow all of
+        // `self` while `g` still borrows `self.network`.)
         let after_crashes = self.faults.crashes_at(round, CrashPhase::AfterCompute);
-        for r in &after_crashes {
-            if self.config.remove(*r).is_some() {
-                self.memories.remove(r);
-                self.arrival_ports.remove(r);
-                crashed_this_round.push(*r);
+        if !after_crashes.is_empty() {
+            for &r in &after_crashes {
+                if self.config.remove(r).is_none() {
+                    continue;
+                }
+                self.memories[r.index()] = None;
+                self.arrival_ports[r.index()] = None;
+                self.scratch.last_record.crashed.push(r);
                 self.total_crashes += 1;
             }
+            self.decisions.retain(|(r, _, _)| !after_crashes.contains(r));
         }
-        decisions.retain(|(r, _, _)| !after_crashes.contains(r));
 
-        // Move: apply all surviving actions simultaneously.
+        // Move: apply all surviving actions simultaneously. New-node
+        // accounting happens here: only a move can occupy a fresh node.
         let mut moves = 0usize;
-        for (robot, action, next_mem) in decisions {
+        let mut newly_occupied = 0usize;
+        for (robot, action, next_mem) in self.decisions.drain(..) {
             match action {
                 Action::Stay => {
-                    self.arrival_ports.remove(&robot);
+                    self.arrival_ports[robot.index()] = None;
                 }
                 Action::Move(p) => {
                     let from = self.config.node_of(robot).expect("robot is live");
@@ -289,45 +556,45 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
                             degree: g.degree(from),
                         })?;
                     self.config.set_position(robot, to);
-                    self.arrival_ports.insert(robot, entry);
+                    self.arrival_ports[robot.index()] = Some(entry);
                     moves += 1;
+                    if !self.ever_occupied[to.index()] {
+                        self.ever_occupied[to.index()] = true;
+                        newly_occupied += 1;
+                    }
                 }
             }
-            self.memories.insert(robot, next_mem);
+            self.memories[robot.index()] = Some(next_mem);
         }
 
-        // Progress accounting.
-        let mut newly_occupied = 0usize;
-        for (v, _) in self.config.occupancy() {
-            if !self.ever_occupied[v.index()] {
-                self.ever_occupied[v.index()] = true;
-                newly_occupied += 1;
-            }
-        }
         let max_memory_bits = self
             .memories
-            .values()
+            .iter()
+            .flatten()
             .map(MemoryFootprint::persistent_bits)
             .max()
             .unwrap_or(0);
 
-        crashed_this_round.sort();
-        let record = RoundRecord {
-            round,
-            occupied_before,
-            occupied_after: self.config.occupied_count(),
-            newly_occupied,
-            moves,
-            crashed: crashed_this_round,
-            max_memory_bits,
-        };
-        self.records.push(record.clone());
+        let record = &mut self.scratch.last_record;
+        record.round = round;
+        record.occupied_before = occupied_before;
+        record.occupied_after = self.config.occupied_count();
+        record.newly_occupied = newly_occupied;
+        record.moves = moves;
+        // Crash IDs are unique; unstable sort is deterministic.
+        record.crashed.sort_unstable();
+        record.max_memory_bits = max_memory_bits;
+        if self.options.trace.records() {
+            self.records.push(record.clone());
+        }
         if let Some(seq) = self.recorded_graphs.as_mut() {
-            seq.push(g)
+            seq.push(g.clone())
                 .map_err(|source| SimError::BadAdversaryGraph { round, source })?;
         }
         self.round += 1;
-        Ok(StepStatus::Advanced(record))
+        Ok(Step::Advanced(RoundOutput {
+            record: &self.scratch.last_record,
+        }))
     }
 
     /// Rounds executed so far.
@@ -335,7 +602,8 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
         self.round
     }
 
-    /// Per-round records accumulated so far.
+    /// Per-round records accumulated so far (empty under
+    /// [`TracePolicy::Off`]).
     pub fn records(&self) -> &[RoundRecord] {
         &self.records
     }
@@ -367,19 +635,17 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
                 // No further round may execute; the termination state is
                 // decided by the configuration after this round's early
                 // crashes (mirrors the per-round order of `step`).
+                self.scratch.last_record.crashed.clear();
                 for r in self
                     .faults
                     .crashes_at(self.round, CrashPhase::BeforeCommunicate)
                 {
-                    if self.config.remove(r).is_some() {
-                        self.memories.remove(&r);
-                        self.arrival_ports.remove(&r);
-                        self.total_crashes += 1;
-                    }
+                    self.crash(r);
                 }
                 return Ok(self.outcome(self.config.is_dispersed()));
             }
-            if let StepStatus::Dispersed = self.step()? {
+            let dispersed = matches!(self.step()?, Step::Dispersed);
+            if dispersed {
                 return Ok(self.outcome(true));
             }
         }
@@ -438,13 +704,13 @@ mod tests {
         // k robots on the center of a star: each extra robot takes a
         // distinct empty port, dispersing in one round.
         let g = generators::star(6).unwrap();
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             GreedySpill,
             StaticNetwork::new(g),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(6, 5, NodeId::new(0)),
-            SimOptions::default(),
         )
+        .build()
         .unwrap();
         let out = sim.run().unwrap();
         assert!(out.dispersed);
@@ -462,13 +728,13 @@ mod tests {
             4,
             [(RobotId::new(1), NodeId::new(0)), (RobotId::new(2), NodeId::new(2))],
         );
-        let out = Simulator::new(
+        let out = Simulator::builder(
             GreedySpill,
             StaticNetwork::new(g),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             cfg,
-            SimOptions::default(),
         )
+        .build()
         .unwrap()
         .run()
         .unwrap();
@@ -493,16 +759,14 @@ mod tests {
             }
         }
         let g = generators::path(4).unwrap();
-        let out = Simulator::new(
+        let out = Simulator::builder(
             Frozen,
             StaticNetwork::new(g),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(4, 2, NodeId::new(0)),
-            SimOptions {
-                max_rounds: 10,
-                ..SimOptions::default()
-            },
         )
+        .max_rounds(10)
+        .build()
         .unwrap()
         .run()
         .unwrap();
@@ -513,13 +777,13 @@ mod tests {
     #[test]
     fn too_many_robots_rejected() {
         let g = generators::path(2).unwrap();
-        let err = Simulator::new(
+        let err = Simulator::builder(
             GreedySpill,
             StaticNetwork::new(g),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(2, 3, NodeId::new(0)),
-            SimOptions::default(),
         )
+        .build()
         .err()
         .unwrap();
         assert_eq!(err, SimError::TooManyRobots { k: 3, n: 2 });
@@ -530,19 +794,19 @@ mod tests {
         // Three robots on one 2-node edge: crashing one before round 0
         // leaves 2 robots; dispersion then needs both nodes.
         let g = generators::path(2).unwrap();
-        let out = Simulator::new(
+        let out = Simulator::builder(
             GreedySpill,
             StaticNetwork::new(g),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(2, 2, NodeId::new(0)),
-            SimOptions::default(),
         )
-        .unwrap()
-        .with_faults(FaultPlan::from_events([CrashEvent {
+        .faults(FaultPlan::from_events([CrashEvent {
             robot: RobotId::new(2),
             round: 0,
             phase: CrashPhase::BeforeCommunicate,
         }]))
+        .build()
+        .unwrap()
         .run()
         .unwrap();
         // Robot 2 crashed, robot 1 alone is trivially dispersed.
@@ -557,19 +821,19 @@ mod tests {
         // Star: robots 2..=3 would fan out, but robot 2 crashes after
         // compute; it vanishes and robot 3 still moves.
         let g = generators::star(4).unwrap();
-        let out = Simulator::new(
+        let out = Simulator::builder(
             GreedySpill,
             StaticNetwork::new(g),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(4, 3, NodeId::new(0)),
-            SimOptions::default(),
         )
-        .unwrap()
-        .with_faults(FaultPlan::from_events([CrashEvent {
+        .faults(FaultPlan::from_events([CrashEvent {
             robot: RobotId::new(2),
             round: 0,
             phase: CrashPhase::AfterCompute,
         }]))
+        .build()
+        .unwrap()
         .run()
         .unwrap();
         assert!(out.dispersed);
@@ -582,7 +846,9 @@ mod tests {
     #[test]
     fn bad_adversary_graph_is_an_error() {
         /// A network that returns a graph of the wrong size.
-        struct WrongSize;
+        struct WrongSize {
+            current: Option<dispersion_graph::PortLabeledGraph>,
+        }
         impl crate::adversary::DynamicNetwork for WrongSize {
             fn node_count(&self) -> usize {
                 4
@@ -592,17 +858,17 @@ mod tests {
                 _round: u64,
                 _config: &Configuration,
                 _oracle: &dyn crate::MoveOracle,
-            ) -> dispersion_graph::PortLabeledGraph {
-                generators::path(3).unwrap()
+            ) -> &dispersion_graph::PortLabeledGraph {
+                self.current.insert(generators::path(3).unwrap())
             }
         }
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             GreedySpill,
-            WrongSize,
+            WrongSize { current: None },
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(4, 2, NodeId::new(0)),
-            SimOptions::default(),
         )
+        .build()
         .unwrap();
         assert!(matches!(
             sim.run(),
@@ -612,7 +878,9 @@ mod tests {
 
     #[test]
     fn disconnected_adversary_graph_is_an_error() {
-        struct Disconnected;
+        struct Disconnected {
+            current: Option<dispersion_graph::PortLabeledGraph>,
+        }
         impl crate::adversary::DynamicNetwork for Disconnected {
             fn node_count(&self) -> usize {
                 4
@@ -622,20 +890,20 @@ mod tests {
                 _round: u64,
                 _config: &Configuration,
                 _oracle: &dyn crate::MoveOracle,
-            ) -> dispersion_graph::PortLabeledGraph {
+            ) -> &dispersion_graph::PortLabeledGraph {
                 let mut b = dispersion_graph::GraphBuilder::new(4);
                 b.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
                 b.add_edge(NodeId::new(2), NodeId::new(3)).unwrap();
-                b.build().unwrap()
+                self.current.insert(b.build().unwrap())
             }
         }
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             GreedySpill,
-            Disconnected,
+            Disconnected { current: None },
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(4, 2, NodeId::new(0)),
-            SimOptions::default(),
         )
+        .build()
         .unwrap();
         assert!(matches!(
             sim.run(),
@@ -659,13 +927,13 @@ mod tests {
                 (Action::Move(Port::new(9)), Nil)
             }
         }
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             PortNine,
             StaticNetwork::new(generators::path(3).unwrap()),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(3, 2, NodeId::new(0)),
-            SimOptions::default(),
         )
+        .build()
         .unwrap();
         let err = sim.run().unwrap_err();
         assert!(matches!(err, SimError::InvalidMove { port, .. } if port == Port::new(9)));
@@ -674,16 +942,14 @@ mod tests {
     #[test]
     fn trace_records_graphs_when_asked() {
         let g = generators::star(4).unwrap();
-        let out = Simulator::new(
+        let out = Simulator::builder(
             GreedySpill,
             StaticNetwork::new(g),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(4, 3, NodeId::new(0)),
-            SimOptions {
-                record_graphs: true,
-                ..SimOptions::default()
-            },
         )
+        .trace(TracePolicy::RoundsAndGraphs)
+        .build()
         .unwrap()
         .run()
         .unwrap();
@@ -693,24 +959,51 @@ mod tests {
     }
 
     #[test]
+    fn trace_off_retains_nothing() {
+        let g = generators::star(6).unwrap();
+        let mut sim = Simulator::builder(
+            GreedySpill,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(6, 4, NodeId::new(0)),
+        )
+        .trace(TracePolicy::Off)
+        .build()
+        .unwrap();
+        // The borrowed per-step output is still fully populated.
+        match sim.step().unwrap() {
+            Step::Advanced(out) => {
+                assert_eq!(out.record.round, 0);
+                assert_eq!(out.record.newly_occupied, 3);
+            }
+            Step::Dispersed => panic!("rooted start is not dispersed"),
+        }
+        let out = sim.run().unwrap();
+        assert!(out.dispersed);
+        assert!(out.trace.records.is_empty());
+        assert!(out.trace.graphs.is_none());
+        assert!(sim.records().is_empty());
+    }
+
+    #[test]
     fn stepwise_api_matches_run() {
         let g = generators::star(6).unwrap();
         let mk = || {
-            Simulator::new(
+            Simulator::builder(
                 GreedySpill,
                 StaticNetwork::new(g.clone()),
                 ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
                 Configuration::rooted(6, 4, NodeId::new(0)),
-                SimOptions::default(),
             )
+            .build()
             .unwrap()
         };
         let mut stepped = mk();
         let mut statuses = Vec::new();
         loop {
             match stepped.step().unwrap() {
-                StepStatus::Dispersed => break,
-                StepStatus::Advanced(rec) => statuses.push(rec),
+                Step::Dispersed => break,
+                Step::Advanced(out) => statuses.push(out.record.clone()),
             }
         }
         let mut ran = mk();
@@ -725,7 +1018,7 @@ mod tests {
     #[test]
     fn step_is_idempotent_once_dispersed() {
         let g = generators::path(4).unwrap();
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             GreedySpill,
             StaticNetwork::new(g),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
@@ -733,11 +1026,11 @@ mod tests {
                 4,
                 [(RobotId::new(1), NodeId::new(0)), (RobotId::new(2), NodeId::new(2))],
             ),
-            SimOptions::default(),
         )
+        .build()
         .unwrap();
-        assert_eq!(sim.step().unwrap(), StepStatus::Dispersed);
-        assert_eq!(sim.step().unwrap(), StepStatus::Dispersed);
+        assert!(matches!(sim.step().unwrap(), Step::Dispersed));
+        assert!(matches!(sim.step().unwrap(), Step::Dispersed));
         assert_eq!(sim.round(), 0);
         assert!(sim.records().is_empty());
     }
@@ -748,16 +1041,16 @@ mod tests {
         // evolve. Occupied count grows monotonically for GreedySpill on a
         // star.
         let g = generators::star(8).unwrap();
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             GreedySpill,
             StaticNetwork::new(g),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(8, 6, NodeId::new(0)),
-            SimOptions::default(),
         )
+        .build()
         .unwrap();
         let mut last = sim.configuration().occupied_count();
-        while let StepStatus::Advanced(_) = sim.step().unwrap() {
+        while matches!(sim.step().unwrap(), Step::Advanced(_)) {
             let now = sim.configuration().occupied_count();
             assert!(now >= last);
             last = now;
@@ -769,20 +1062,18 @@ mod tests {
     fn semisync_inactive_robots_hold_position() {
         // With 0% activation nothing ever moves.
         let g = generators::star(4).unwrap();
-        let out = Simulator::new(
+        let out = Simulator::builder(
             GreedySpill,
             StaticNetwork::new(g),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(4, 3, NodeId::new(0)),
-            SimOptions {
-                max_rounds: 5,
-                activation: Activation::SemiSync {
-                    p_percent: 0,
-                    seed: 1,
-                },
-                ..SimOptions::default()
-            },
         )
+        .max_rounds(5)
+        .activation(Activation::SemiSync {
+            p_percent: 0,
+            seed: 1,
+        })
+        .build()
         .unwrap()
         .run()
         .unwrap();

@@ -1,8 +1,41 @@
 //! Execution traces: what happened in each round of a run.
 
+use std::io;
+
 use dispersion_graph::dynamics::GraphSequence;
 
 use crate::RobotId;
+
+/// How much of the run the simulator retains.
+///
+/// Tracing is the only part of the round loop that must allocate; with
+/// [`TracePolicy::Off`] the simulator reuses one round record and the
+/// steady-state loop performs no heap allocation at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TracePolicy {
+    /// Keep nothing across rounds. [`crate::SimOutcome::trace`] is empty;
+    /// per-round data is only visible through the borrowed
+    /// [`crate::RoundOutput`] of each `step`.
+    Off,
+    /// Keep every [`RoundRecord`] (the historical default).
+    #[default]
+    Rounds,
+    /// Keep every record *and* every adversary graph (costly for large
+    /// runs, invaluable for audits).
+    RoundsAndGraphs,
+}
+
+impl TracePolicy {
+    /// Whether per-round records accumulate.
+    pub fn records(self) -> bool {
+        !matches!(self, TracePolicy::Off)
+    }
+
+    /// Whether adversary graphs accumulate.
+    pub fn graphs(self) -> bool {
+        matches!(self, TracePolicy::RoundsAndGraphs)
+    }
+}
 
 /// Summary of one executed round.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,16 +96,23 @@ impl ExecutionTrace {
         self.records.iter().all(|r| r.newly_occupied >= 1)
     }
 
-    /// Renders the records as CSV (`round,occupied_before,occupied_after,
-    /// newly_occupied,moves,crashes,max_memory_bits`) for external
-    /// plotting.
-    pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "round,occupied_before,occupied_after,newly_occupied,moves,crashes,max_memory_bits\n",
-        );
+    /// Streams the records as CSV (`round,occupied_before,occupied_after,
+    /// newly_occupied,moves,crashes,max_memory_bits`) into any writer —
+    /// a file, a socket, a `Vec<u8>` — without materializing the whole
+    /// document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O errors.
+    pub fn write_csv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(
+            w,
+            "round,occupied_before,occupied_after,newly_occupied,moves,crashes,max_memory_bits"
+        )?;
         for r in &self.records {
-            out.push_str(&format!(
-                "{},{},{},{},{},{},{}\n",
+            writeln!(
+                w,
+                "{},{},{},{},{},{},{}",
                 r.round,
                 r.occupied_before,
                 r.occupied_after,
@@ -80,9 +120,16 @@ impl ExecutionTrace {
                 r.moves,
                 r.crashed.len(),
                 r.max_memory_bits
-            ));
+            )?;
         }
-        out
+        Ok(())
+    }
+
+    /// [`Self::write_csv`] into a `String`, for small traces and tests.
+    pub fn to_csv(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_csv(&mut buf).expect("Vec writer cannot fail");
+        String::from_utf8(buf).expect("CSV output is ASCII")
     }
 
     /// Whether the occupied-node count never shrank round-over-round
@@ -148,6 +195,26 @@ mod tests {
         );
         assert_eq!(lines.next().unwrap(), "0,1,2,1,1,0,5");
         assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn write_csv_matches_to_csv() {
+        let t = ExecutionTrace {
+            records: vec![rec(0, 1, 2, 1), rec(1, 2, 4, 2)],
+            graphs: None,
+        };
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), t.to_csv());
+    }
+
+    #[test]
+    fn trace_policy_flags() {
+        assert!(!TracePolicy::Off.records());
+        assert!(TracePolicy::Rounds.records());
+        assert!(!TracePolicy::Rounds.graphs());
+        assert!(TracePolicy::RoundsAndGraphs.graphs());
+        assert_eq!(TracePolicy::default(), TracePolicy::Rounds);
     }
 
     #[test]

@@ -140,6 +140,46 @@ pub fn build_view(
     }
 }
 
+/// Overwrites the node-dependent parts of `view` — `degree`, `colocated`,
+/// `neighbors` — for a robot standing on node `v`, reusing the buffers so
+/// a warm view is updated without heap allocation. The caller fills the
+/// robot-dependent fields (`me`, `arrival_port`) and the packets.
+///
+/// `node_robots[w]` must list the live robots at node `w`, ascending;
+/// rows of unoccupied nodes must be empty.
+pub fn write_node_view(
+    g: &PortLabeledGraph,
+    node_robots: &[Vec<RobotId>],
+    v: dispersion_graph::NodeId,
+    neighborhood: bool,
+    view: &mut RobotView,
+) {
+    view.degree = g.degree(v);
+    view.colocated.clear();
+    view.colocated.extend_from_slice(&node_robots[v.index()]);
+    if neighborhood {
+        let obs = view.neighbors.get_or_insert_with(Vec::new);
+        let mut filled = 0usize;
+        for (port, w, _) in g.neighbors(v) {
+            let robots = &node_robots[w.index()];
+            if let Some(o) = obs.get_mut(filled) {
+                o.port = port;
+                o.robots.clear();
+                o.robots.extend_from_slice(robots);
+            } else {
+                obs.push(NeighborObservation {
+                    port,
+                    robots: robots.clone(),
+                });
+            }
+            filled += 1;
+        }
+        obs.truncate(filled);
+    } else {
+        view.neighbors = None;
+    }
+}
+
 /// Builds the views of all live robots for one round. `arrival_port_of`
 /// maps a robot to the port it used to enter its node (if it moved last
 /// round). Views are returned in robot-ID order.
@@ -249,6 +289,45 @@ mod tests {
             assert!(view.neighbors.is_none());
             assert!(view.empty_ports().is_none());
         }
+    }
+
+    #[test]
+    fn write_node_view_matches_build_view() {
+        let (g, c) = sample();
+        let mut rows: Vec<Vec<RobotId>> = vec![Vec::new(); 4];
+        for (robot, node) in c.iter() {
+            rows[node.index()].push(robot);
+        }
+        let mut view = RobotView {
+            round: 0,
+            me: r(1),
+            k: 3,
+            degree: 0,
+            arrival_port: None,
+            colocated: Vec::new(),
+            neighbors: None,
+            packets: Vec::new(),
+        };
+        // Warm the buffers on node 1 (two colocated robots), then move to
+        // node 2: leftovers must be fully overwritten.
+        write_node_view(&g, &rows, v(1), true, &mut view);
+        assert_eq!(view.colocated, vec![r(1), r(3)]);
+        write_node_view(&g, &rows, v(2), true, &mut view);
+        view.me = r(2);
+        let packets = crate::packet::build_packets(&g, &c, true);
+        let reference = build_view(
+            &g,
+            &c,
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            0,
+            3,
+            r(2),
+            None,
+            &packets,
+        );
+        assert_eq!(view.degree, reference.degree);
+        assert_eq!(view.colocated, reference.colocated);
+        assert_eq!(view.neighbors, reference.neighbors);
     }
 
     #[test]

@@ -80,14 +80,32 @@ impl DisjointSets {
     pub fn same_set(&mut self, a: usize, b: usize) -> bool {
         self.find(a) == self.find(b)
     }
+
+    /// Resets to `n` singleton sets, reusing the existing buffers. Only
+    /// allocates when `n` exceeds the current capacity — this is what lets
+    /// the simulator's per-round connectivity check run allocation-free.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.sets = n;
+    }
 }
 
 /// Whether the whole graph is connected.
 ///
 /// A single-node graph is connected; the model guarantees `n ≥ 1`.
 pub fn is_connected(g: &PortLabeledGraph) -> bool {
-    let n = g.node_count();
-    let mut ds = DisjointSets::new(n);
+    let mut ds = DisjointSets::new(g.node_count());
+    is_connected_with(g, &mut ds)
+}
+
+/// [`is_connected`] against a caller-owned scratch union-find. The
+/// structure is [`DisjointSets::reset`] to `g`'s node count first, so a
+/// warm scratch makes the whole check allocation-free.
+pub fn is_connected_with(g: &PortLabeledGraph, ds: &mut DisjointSets) -> bool {
+    ds.reset(g.node_count());
     for e in g.edges() {
         ds.union(e.u.index(), e.v.index());
     }
@@ -155,6 +173,34 @@ mod tests {
         assert_eq!(ds.set_count(), 2);
         assert_eq!(ds.len(), 5);
         assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn reset_restores_singletons() {
+        let mut ds = DisjointSets::new(4);
+        ds.union(0, 1);
+        ds.union(2, 3);
+        ds.reset(3);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.set_count(), 3);
+        assert!(!ds.same_set(0, 1));
+        // Growing past the original size also works.
+        ds.reset(6);
+        assert_eq!(ds.set_count(), 6);
+    }
+
+    #[test]
+    fn connected_with_reusable_scratch() {
+        let mut ds = DisjointSets::new(0);
+        let g = generators::path(5).unwrap();
+        assert!(is_connected_with(&g, &mut ds));
+        let mut b = crate::GraphBuilder::new(4);
+        b.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        b.add_edge(NodeId::new(2), NodeId::new(3)).unwrap();
+        let g2 = b.build().unwrap();
+        assert!(!is_connected_with(&g2, &mut ds));
+        // Scratch state from the previous check must not leak.
+        assert!(is_connected_with(&g, &mut ds));
     }
 
     #[test]

@@ -48,14 +48,26 @@ impl PortLabeledGraph {
     /// contains self-loops or parallel edges, or if the reverse-port
     /// cross-references are inconsistent.
     pub fn from_adjacency(adj: Vec<Vec<(NodeId, Port)>>) -> Result<Self, GraphError> {
+        let m = Self::check_table(&adj)?;
+        Ok(PortLabeledGraph { adj, m })
+    }
+
+    /// Checks every model invariant over an adjacency table and returns the
+    /// undirected edge count. Shared by [`Self::from_adjacency`] and
+    /// [`Self::validate`]; uses a stamped seen-buffer so the whole check is
+    /// one `O(n)` allocation regardless of degree.
+    fn check_table(adj: &[Vec<(NodeId, Port)>]) -> Result<usize, GraphError> {
         let n = adj.len();
         if n == 0 {
             return Err(GraphError::Empty);
         }
         let mut m = 0usize;
+        // seen[w] == stamp of the node currently being scanned means `w`
+        // already appeared in its row (a parallel edge).
+        let mut seen = vec![0u32; n];
         for (vi, row) in adj.iter().enumerate() {
             let v = NodeId::new(vi as u32);
-            let mut seen = vec![false; n];
+            let stamp = vi as u32 + 1;
             for (pi, &(w, q)) in row.iter().enumerate() {
                 if w.index() >= n {
                     return Err(GraphError::NodeOutOfRange { node: w, n });
@@ -63,10 +75,10 @@ impl PortLabeledGraph {
                 if w.index() == vi {
                     return Err(GraphError::SelfLoop { node: v });
                 }
-                if seen[w.index()] {
+                if seen[w.index()] == stamp {
                     return Err(GraphError::DuplicateEdge { u: v, v: w });
                 }
-                seen[w.index()] = true;
+                seen[w.index()] = stamp;
                 // Cross-reference: following q from w must come back to v
                 // through p.
                 let back = adj
@@ -88,7 +100,7 @@ impl PortLabeledGraph {
                 }
             }
         }
-        Ok(PortLabeledGraph { adj, m })
+        Ok(m)
     }
 
     /// Number of nodes `n`.
@@ -172,7 +184,7 @@ impl PortLabeledGraph {
     ///
     /// Returns the first violated invariant.
     pub fn validate(&self) -> Result<(), GraphError> {
-        Self::from_adjacency(self.adj.clone()).map(|_| ())
+        Self::check_table(&self.adj).map(|_| ())
     }
 }
 

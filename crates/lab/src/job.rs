@@ -10,7 +10,7 @@ use dispersion_engine::adversary::{
     MinProgressSampler, PathTrapAdversary, StarPairAdversary, StaticNetwork, TIntervalNetwork,
 };
 use dispersion_engine::{
-    Configuration, CrashPhase, DispersionAlgorithm, FaultPlan, MoveOracle, SimOptions,
+    Configuration, CrashPhase, DispersionAlgorithm, FaultPlan, MoveOracle,
     SimOutcome, Simulator,
 };
 use dispersion_graph::{generators, NodeId, PortLabeledGraph};
@@ -197,7 +197,7 @@ impl DynamicNetwork for PanicProbe {
         round: u64,
         _config: &Configuration,
         _oracle: &dyn MoveOracle,
-    ) -> PortLabeledGraph {
+    ) -> &PortLabeledGraph {
         panic!("panic-probe adversary fired at round {round} (by design)");
     }
 
@@ -254,17 +254,15 @@ fn run_with<A: DispersionAlgorithm>(
     } else {
         FaultPlan::none()
     };
-    Simulator::new(
+    Simulator::builder(
         alg,
         make_network(job, spec),
         job.algorithm.model(),
         initial_config(job, spec),
-        SimOptions {
-            max_rounds: spec.max_rounds,
-            ..SimOptions::default()
-        },
-    )?
-    .with_faults(plan)
+    )
+    .max_rounds(spec.max_rounds)
+    .faults(plan)
+    .build()?
     .run()
 }
 

@@ -33,6 +33,7 @@ pub mod json;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod throughput;
 
 pub use job::{RunJob, RunRecord, RunStatus};
 pub use report::{CampaignReport, CellKey, CellStats, Table};
@@ -77,5 +78,11 @@ impl std::error::Error for LabError {}
 impl From<String> for LabError {
     fn from(msg: String) -> Self {
         LabError::Spec(msg)
+    }
+}
+
+impl From<LabError> for dispersion_core::DispersionError {
+    fn from(e: LabError) -> Self {
+        dispersion_core::DispersionError::Other(Box::new(e))
     }
 }

@@ -1,0 +1,305 @@
+//! Engine-throughput measurement: the perf-regression harness behind
+//! `dispersion bench`, the `engine_hot_path` criterion bench, and the
+//! committed `BENCH_engine.json` trajectory.
+//!
+//! One [`BenchCase`] pins a (network family, `n`, `k`) point; measuring it
+//! runs Algorithm 4 to termination (or the `n`-round cap) a fixed number
+//! of times and reports wall-clock throughput as rounds/sec and
+//! robot-steps/sec (one robot-step = one live robot executing one CCM
+//! round). Every knob — algorithm, model, placement, round cap, seeds —
+//! is pinned so numbers are comparable across commits; the committed
+//! baseline in `BENCH_engine.json` was captured with exactly this
+//! harness before the zero-allocation round-loop rewrite.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dispersion_core::DispersionDynamic;
+use dispersion_engine::adversary::{DynamicNetwork, DynamicRingNetwork, StaticNetwork};
+use dispersion_engine::{Configuration, ModelSpec, Simulator, TracePolicy};
+use dispersion_graph::{generators, NodeId};
+
+use crate::json::JsonObject;
+use crate::report::Table;
+
+/// The network families the engine benchmark covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchNetwork {
+    /// Static cycle of `n` nodes — the canonical regression target.
+    Ring,
+    /// Static `√n × √n` grid.
+    Grid,
+    /// Dynamic broken ring re-embedded every round — exercises the
+    /// adversary path and per-round graph validation.
+    Adversarial,
+}
+
+impl BenchNetwork {
+    /// Stable name used in JSON and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchNetwork::Ring => "ring",
+            BenchNetwork::Grid => "grid",
+            BenchNetwork::Adversarial => "adversarial",
+        }
+    }
+
+    fn build(self, n: usize, seed: u64) -> Box<dyn DynamicNetwork> {
+        match self {
+            BenchNetwork::Ring => Box::new(StaticNetwork::new(
+                generators::cycle(n).expect("n ≥ 3"),
+            )),
+            BenchNetwork::Grid => {
+                let side = (n as f64).sqrt() as usize;
+                Box::new(StaticNetwork::new(
+                    generators::grid(side, side).expect("side ≥ 1"),
+                ))
+            }
+            BenchNetwork::Adversarial => Box::new(DynamicRingNetwork::new(n, true, seed)),
+        }
+    }
+}
+
+/// One pinned benchmark point.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchCase {
+    /// Network family.
+    pub network: BenchNetwork,
+    /// Nodes (`k = n/2` robots, rooted).
+    pub n: usize,
+    /// Full runs to average over.
+    pub repeats: usize,
+}
+
+impl BenchCase {
+    /// Robots for this case.
+    pub fn k(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Stable `family/n` label.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.network.name(), self.n)
+    }
+}
+
+/// The standard engine benchmark matrix: ring/grid/adversarial at
+/// n ∈ {64, 256, 1024}. `quick` drops the n = 1024 row and runs one
+/// repeat per case — the CI smoke configuration.
+pub fn engine_cases(quick: bool) -> Vec<BenchCase> {
+    let sizes: &[usize] = if quick { &[64, 256] } else { &[64, 256, 1024] };
+    let mut cases = Vec::new();
+    for &network in &[BenchNetwork::Ring, BenchNetwork::Grid, BenchNetwork::Adversarial] {
+        for &n in sizes {
+            let repeats = if quick { 1 } else { (2048 / n).max(2) };
+            cases.push(BenchCase { network, n, repeats });
+        }
+    }
+    cases
+}
+
+/// Measured throughput of one case.
+#[derive(Clone, Debug)]
+pub struct Throughput {
+    /// Network family name.
+    pub network: String,
+    /// Nodes.
+    pub n: usize,
+    /// Robots.
+    pub k: usize,
+    /// Full runs measured.
+    pub runs: usize,
+    /// Rounds executed across all runs.
+    pub rounds: u64,
+    /// Robot-steps (live robots × rounds) across all runs.
+    pub robot_steps: u64,
+    /// Total wall-clock seconds across all runs.
+    pub wall_s: f64,
+}
+
+impl Throughput {
+    /// Executed rounds per wall-clock second.
+    pub fn rounds_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.rounds as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Robot-steps per wall-clock second.
+    pub fn robot_steps_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.robot_steps as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line JSON form for `BENCH_engine.json`.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str_field("network", &self.network)
+            .u64_field("n", self.n as u64)
+            .u64_field("k", self.k as u64)
+            .u64_field("runs", self.runs as u64)
+            .u64_field("rounds", self.rounds)
+            .u64_field("robot_steps", self.robot_steps)
+            .raw_field("wall_s", &format!("{:.6}", self.wall_s))
+            .raw_field("rounds_per_sec", &format!("{:.1}", self.rounds_per_sec()))
+            .raw_field(
+                "robot_steps_per_sec",
+                &format!("{:.1}", self.robot_steps_per_sec()),
+            );
+        o.finish()
+    }
+}
+
+/// Runs one case to completion `case.repeats` times and folds the
+/// timings. Runs Algorithm 4 (global comm + 1-NK) from a rooted
+/// configuration with tracing off — the engine's steady-state hot path.
+///
+/// # Panics
+///
+/// Panics on simulator errors; benchmark inputs are all well formed.
+pub fn measure(case: &BenchCase) -> Throughput {
+    let k = case.k();
+    let mut total_rounds = 0u64;
+    let mut total_steps = 0u64;
+    let mut wall_s = 0.0f64;
+    for rep in 0..case.repeats {
+        let seed = 0xbe7c_0000 + rep as u64;
+        let mut sim = Simulator::builder(
+            DispersionDynamic::new(),
+            case.network.build(case.n, seed),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(case.n, k, NodeId::new(0)),
+        )
+        .max_rounds(case.n as u64)
+        .trace(TracePolicy::Off)
+        .build()
+        .expect("k ≤ n");
+        let start = Instant::now();
+        let outcome = sim.run().expect("benchmark run succeeds");
+        wall_s += start.elapsed().as_secs_f64();
+        total_rounds += outcome.rounds;
+        total_steps += outcome.rounds * k as u64;
+    }
+    Throughput {
+        network: case.network.name().to_string(),
+        n: case.n,
+        k,
+        runs: case.repeats,
+        rounds: total_rounds,
+        robot_steps: total_steps,
+        wall_s,
+    }
+}
+
+/// Renders measurements as an aligned text table.
+pub fn render_table(results: &[Throughput]) -> String {
+    let mut t = Table::new(["network", "n", "k", "rounds", "rounds/s", "robot-steps/s"]);
+    for r in results {
+        t.row([
+            r.network.clone(),
+            r.n.to_string(),
+            r.k.to_string(),
+            r.rounds.to_string(),
+            format!("{:.0}", r.rounds_per_sec()),
+            format!("{:.0}", r.robot_steps_per_sec()),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the `BENCH_engine.json` document: the current measurements,
+/// plus an optional embedded baseline section (the raw `results` array
+/// of an earlier emission, typically the committed pre-refactor one).
+pub fn render_bench_json(
+    label: &str,
+    results: &[Throughput],
+    baseline: Option<(&str, &str)>,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"engine_round_loop\",");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    if let Some((base_label, base_results)) = baseline {
+        let _ = writeln!(out, "  \"baseline_label\": {},", json_str(base_label));
+        let _ = writeln!(out, "  \"baseline\": {},", base_results.trim());
+    }
+    let _ = writeln!(out, "  \"label\": {},", json_str(label));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{comma}", r.to_json());
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts the `results` array (raw JSON text) from a previously
+/// emitted `BENCH_engine.json`, for embedding as a baseline.
+pub fn extract_results_array(doc: &str) -> Option<String> {
+    let start = doc.find("\"results\": [")?;
+    let tail = &doc[start + "\"results\": ".len()..];
+    let end = tail.find("]\n")?;
+    Some(tail[..end + 1].to_string())
+}
+
+fn json_str(s: &str) -> String {
+    let mut buf = String::from("\"");
+    crate::json::escape_into(&mut buf, s);
+    buf.push('"');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_shape() {
+        let cases = engine_cases(true);
+        assert_eq!(cases.len(), 6);
+        assert!(cases.iter().all(|c| c.n <= 256 && c.repeats == 1));
+        let full = engine_cases(false);
+        assert_eq!(full.len(), 9);
+        assert!(full.iter().any(|c| c.n == 1024));
+    }
+
+    #[test]
+    fn measure_smallest_ring() {
+        let t = measure(&BenchCase {
+            network: BenchNetwork::Ring,
+            n: 64,
+            repeats: 1,
+        });
+        assert_eq!(t.k, 32);
+        assert!(t.rounds > 0);
+        assert_eq!(t.robot_steps, t.rounds * 32);
+        assert!(t.rounds_per_sec() > 0.0);
+        let json = t.to_json();
+        assert!(json.contains("\"network\":\"ring\""), "{json}");
+        let table = render_table(&[t]);
+        assert!(table.contains("robot-steps/s"), "{table}");
+    }
+
+    #[test]
+    fn bench_json_round_trips_baseline() {
+        let t = Throughput {
+            network: "ring".into(),
+            n: 64,
+            k: 32,
+            runs: 1,
+            rounds: 10,
+            robot_steps: 320,
+            wall_s: 0.5,
+        };
+        let doc = render_bench_json("post", std::slice::from_ref(&t), None);
+        let arr = extract_results_array(&doc).expect("results array");
+        assert!(arr.starts_with('['), "{arr}");
+        let doc2 = render_bench_json("post2", &[t], Some(("pre", &arr)));
+        assert!(doc2.contains("\"baseline_label\": \"pre\""), "{doc2}");
+        assert!(extract_results_array(&doc2).is_some());
+    }
+}

@@ -10,17 +10,17 @@ use dispersion_engine::adversary::{
     DynamicNetwork, EdgeChurnNetwork, PeriodicNetwork, StarPairAdversary, StaticNetwork,
     TIntervalNetwork,
 };
-use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+use dispersion_engine::{Configuration, ModelSpec, Simulator};
 use dispersion_graph::{generators, NodeId};
 
 fn challenge<N: DynamicNetwork>(name: &str, net: N, n: usize, k: usize) {
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::new(),
         net,
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         Configuration::rooted(n, k, NodeId::new(0)),
-        SimOptions::default(),
     )
+    .build()
     .expect("k ≤ n");
     let out = sim.run().expect("valid run");
     println!(

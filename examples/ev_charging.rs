@@ -15,7 +15,7 @@
 
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::TIntervalNetwork;
-use dispersion_engine::{Configuration, ModelSpec, RobotId, SimOptions, Simulator};
+use dispersion_engine::{Configuration, ModelSpec, RobotId, Simulator};
 use dispersion_graph::NodeId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,13 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Roads: a stable backbone persists for 3-round windows while side
     // streets open and close every round.
     let roads = TIntervalNetwork::new(n, 3, 0.08, 42);
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::new(),
         roads,
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         initial,
-        SimOptions::default(),
-    )?;
+    )
+    .build()?;
     let outcome = sim.run()?;
 
     for rec in &outcome.trace.records {

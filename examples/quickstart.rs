@@ -10,7 +10,7 @@
 
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::EdgeChurnNetwork;
-use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+use dispersion_engine::{Configuration, ModelSpec, Simulator};
 use dispersion_graph::NodeId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,13 +19,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("model: {}", ModelSpec::GLOBAL_WITH_NEIGHBORHOOD);
     println!();
 
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::new(),
         EdgeChurnNetwork::new(n, 0.15, 7),
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         Configuration::rooted(n, k, NodeId::new(0)),
-        SimOptions::default(),
-    )?;
+    )
+    .build()?;
     let outcome = sim.run()?;
 
     println!(

@@ -7,7 +7,7 @@
 
 use dispersion_core::{worked_example, DispersionDynamic};
 use dispersion_engine::adversary::StaticNetwork;
-use dispersion_engine::{ModelSpec, SimOptions, Simulator};
+use dispersion_engine::{ModelSpec, Simulator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ex = worked_example::build();
@@ -75,16 +75,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     println!("=== Fig. 4(b): one round of sliding (Algorithm 4) ===");
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::new(),
         StaticNetwork::new(ex.graph.clone()),
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         ex.config.clone(),
-        SimOptions {
-            max_rounds: 1,
-            ..SimOptions::default()
-        },
-    )?;
+    )
+    .max_rounds(1)
+    .build()?;
     let out = sim.run()?;
     let rec = &out.trace.records[0];
     println!(

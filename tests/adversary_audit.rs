@@ -7,21 +7,19 @@ use dispersion_engine::adversary::{
     DynamicNetwork, DynamicRingNetwork, EdgeChurnNetwork, MinProgressSampler,
     PeriodicNetwork, StarPairAdversary, StaticNetwork, TIntervalNetwork,
 };
-use dispersion_engine::{Configuration, ModelSpec, SimOptions, SimOutcome, Simulator};
+use dispersion_engine::{Configuration, ModelSpec, SimOutcome, Simulator, TracePolicy};
 use dispersion_graph::dynamics::GraphSequence;
 use dispersion_graph::{connectivity, generators, metrics, NodeId};
 
 fn record_run<N: DynamicNetwork>(net: N, n: usize, k: usize) -> (SimOutcome, GraphSequence) {
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::new(),
         net,
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         Configuration::rooted(n, k, NodeId::new(0)),
-        SimOptions {
-            record_graphs: true,
-            ..SimOptions::default()
-        },
     )
+    .trace(TracePolicy::RoundsAndGraphs)
+    .build()
     .expect("k ≤ n");
     let out = sim.run().expect("valid run");
     let graphs = out.trace.graphs.clone().expect("recording enabled");
@@ -138,17 +136,15 @@ fn audit_trap_adversaries_respect_the_model() {
     use dispersion_core::impossibility::near_dispersed_config;
     use dispersion_engine::adversary::{CliqueTrapAdversary, PathTrapAdversary};
 
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         GreedyLocal::new(),
         PathTrapAdversary::new(11),
         ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
         near_dispersed_config(11, 6),
-        SimOptions {
-            max_rounds: 40,
-            record_graphs: true,
-            ..SimOptions::default()
-        },
     )
+    .max_rounds(40)
+    .trace(TracePolicy::RoundsAndGraphs)
+    .build()
     .unwrap();
     let out = sim.run().unwrap();
     assert!(!out.dispersed);
@@ -160,17 +156,15 @@ fn audit_trap_adversaries_respect_the_model() {
         assert_eq!(g.max_degree(), 2);
     }
 
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         BlindGlobal::new(),
         CliqueTrapAdversary::new(11),
         ModelSpec::GLOBAL_BLIND,
         near_dispersed_config(11, 6),
-        SimOptions {
-            max_rounds: 40,
-            record_graphs: true,
-            ..SimOptions::default()
-        },
     )
+    .max_rounds(40)
+    .trace(TracePolicy::RoundsAndGraphs)
+    .build()
     .unwrap();
     let out = sim.run().unwrap();
     assert!(!out.dispersed);

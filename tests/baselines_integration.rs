@@ -5,7 +5,7 @@ use dispersion_core::baselines::{BlindGlobal, GreedyLocal, LocalDfs, RandomWalk}
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::{DynamicNetwork, StaticNetwork};
 use dispersion_engine::{
-    Configuration, DispersionAlgorithm, ModelSpec, SimOptions, SimOutcome, Simulator,
+    Configuration, DispersionAlgorithm, ModelSpec, SimOutcome, Simulator,
 };
 use dispersion_graph::{generators, NodeId, PortLabeledGraph};
 
@@ -16,17 +16,10 @@ fn run_alg<A: DispersionAlgorithm, N: DynamicNetwork>(
     cfg: Configuration,
     max_rounds: u64,
 ) -> SimOutcome {
-    Simulator::new(
-        alg,
-        net,
-        model,
-        cfg,
-        SimOptions {
-            max_rounds,
-            ..SimOptions::default()
-        },
-    )
-    .unwrap()
+    Simulator::builder(alg, net, model, cfg)
+        .max_rounds(max_rounds)
+        .build()
+        .unwrap()
     .run()
     .unwrap()
 }

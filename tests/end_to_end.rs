@@ -6,17 +6,17 @@ use dispersion_engine::adversary::{
     DynamicNetwork, EdgeChurnNetwork, PeriodicNetwork, StarPairAdversary, StaticNetwork,
     TIntervalNetwork,
 };
-use dispersion_engine::{Configuration, ModelSpec, SimOptions, Simulator};
+use dispersion_engine::{Configuration, ModelSpec, Simulator, TracePolicy};
 use dispersion_graph::{generators, NodeId};
 
 fn run<N: DynamicNetwork>(net: N, cfg: Configuration) -> dispersion_engine::SimOutcome {
-    Simulator::new(
+    Simulator::builder(
         DispersionDynamic::new(),
         net,
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         cfg,
-        SimOptions::default(),
     )
+    .build()
     .expect("k ≤ n")
     .run()
     .expect("simulation is well formed")
@@ -153,16 +153,14 @@ fn dense_multicluster_starts() {
 
 #[test]
 fn graphs_recorded_are_connected_every_round() {
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::new(),
         EdgeChurnNetwork::new(14, 0.2, 4),
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         Configuration::rooted(14, 10, NodeId::new(0)),
-        SimOptions {
-            record_graphs: true,
-            ..SimOptions::default()
-        },
     )
+    .trace(TracePolicy::RoundsAndGraphs)
+    .build()
     .unwrap();
     let out = sim.run().unwrap();
     let seq = out.trace.graphs.expect("recording enabled");
@@ -222,13 +220,13 @@ fn min_progress_sampler_cannot_break_the_bound() {
     // (Lemma 7 holds on every connected graph).
     use dispersion_engine::adversary::MinProgressSampler;
     let (n, k) = (18usize, 12usize);
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::new(),
         MinProgressSampler::new(n, 12, 0.1, 5),
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         Configuration::rooted(n, k, NodeId::new(0)),
-        SimOptions::default(),
     )
+    .build()
     .unwrap();
     let out = sim.run().unwrap();
     assert!(out.dispersed);

@@ -7,9 +7,7 @@ use dispersion_core::{DispersionDynamic, MoverRule, SlidingPolicy};
 use dispersion_engine::adversary::{
     DynamicRingNetwork, EdgeChurnNetwork, MinProgressSampler, StarPairAdversary,
 };
-use dispersion_engine::{
-    Activation, Configuration, ModelSpec, SimOptions, Simulator,
-};
+use dispersion_engine::{Activation, Configuration, ModelSpec, Simulator, TracePolicy};
 use dispersion_graph::NodeId;
 
 #[test]
@@ -24,20 +22,18 @@ fn semisync_still_disperses_but_loses_the_k_bound() {
     let (n, k) = (14usize, 9usize);
     let mut rounds_over_bound = 0;
     for seed in 0..5u64 {
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             StarPairAdversary::new(n),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions {
-                max_rounds: 10_000,
-                activation: Activation::SemiSync {
-                    p_percent: 60,
-                    seed,
-                },
-                ..SimOptions::default()
-            },
         )
+        .max_rounds(10_000)
+        .activation(Activation::SemiSync {
+            p_percent: 60,
+            seed,
+        })
+        .build()
         .unwrap();
         let out = sim.run().unwrap();
         assert!(out.dispersed, "seed {seed}: semisync must still terminate");
@@ -55,16 +51,14 @@ fn semisync_still_disperses_but_loses_the_k_bound() {
 fn semisync_full_activation_equals_sync() {
     let (n, k) = (12usize, 8usize);
     let run_with = |activation| {
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             StarPairAdversary::new(n),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions {
-                activation,
-                ..SimOptions::default()
-            },
         )
+        .activation(activation)
+        .build()
         .unwrap();
         sim.run().unwrap()
     };
@@ -84,13 +78,13 @@ fn dynamic_ring_rounds_track_k() {
     for k in [4usize, 8, 16] {
         let n = k + 2;
         for drop_edge in [false, true] {
-            let mut sim = Simulator::new(
+            let mut sim = Simulator::builder(
                 DispersionDynamic::new(),
                 DynamicRingNetwork::new(n, drop_edge, k as u64),
                 ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
                 Configuration::rooted(n, k, NodeId::new(0)),
-                SimOptions::default(),
             )
+            .build()
             .unwrap();
             let out = sim.run().unwrap();
             assert!(out.dispersed);
@@ -111,22 +105,22 @@ fn min_progress_sampler_is_harder_than_plain_churn() {
     let mut sampler_total = 0u64;
     let mut churn_total = 0u64;
     for seed in 0..5u64 {
-        let mut churn_sim = Simulator::new(
+        let mut churn_sim = Simulator::builder(
             DispersionDynamic::new(),
             EdgeChurnNetwork::new(n, 0.12, seed),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions::default(),
         )
+        .build()
         .unwrap();
         churn_total += churn_sim.run().unwrap().rounds;
-        let mut sampler_sim = Simulator::new(
+        let mut sampler_sim = Simulator::builder(
             DispersionDynamic::new(),
             MinProgressSampler::new(n, 10, 0.12, seed),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions::default(),
         )
+        .build()
         .unwrap();
         let out = sampler_sim.run().unwrap();
         assert!(out.dispersed);
@@ -155,13 +149,13 @@ fn policy_variants_hold_against_the_adaptive_adversary() {
             ..SlidingPolicy::default()
         },
     ] {
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::with_policy(policy),
             StarPairAdversary::new(n),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions::default(),
         )
+        .build()
         .unwrap();
         let out = sim.run().unwrap();
         assert!(out.dispersed);
@@ -172,22 +166,22 @@ fn policy_variants_hold_against_the_adaptive_adversary() {
 #[test]
 fn stepwise_driving_with_mid_run_inspection() {
     // The step API lets a caller audit Lemma 7 live.
-    use dispersion_engine::StepStatus;
+    use dispersion_engine::Step;
     let (n, k) = (16usize, 11usize);
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::new(),
         EdgeChurnNetwork::new(n, 0.15, 2),
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         Configuration::rooted(n, k, NodeId::new(0)),
-        SimOptions::default(),
     )
+    .build()
     .unwrap();
     let mut rounds = 0u64;
     loop {
         match sim.step().unwrap() {
-            StepStatus::Dispersed => break,
-            StepStatus::Advanced(rec) => {
-                assert!(rec.newly_occupied >= 1, "Lemma 7 live at round {rounds}");
+            Step::Dispersed => break,
+            Step::Advanced(out) => {
+                assert!(out.record.newly_occupied >= 1, "Lemma 7 live at round {rounds}");
                 rounds += 1;
             }
         }
@@ -218,12 +212,12 @@ fn oracle_probing_is_side_effect_free() {
             round: u64,
             config: &dispersion_engine::Configuration,
             oracle: &dyn MoveOracle,
-        ) -> PortLabeledGraph {
+        ) -> &PortLabeledGraph {
             let g = self.inner.graph_for_round(round, config, oracle);
             for _ in 0..5 {
-                let moves = oracle.moves_on(&g);
+                let moves = oracle.moves_on(g);
                 assert_eq!(moves.len(), config.robot_count());
-                let _ = oracle.progress_on(&g);
+                let _ = oracle.progress_on(g);
                 self.probes += 1;
             }
             g
@@ -234,7 +228,7 @@ fn oracle_probing_is_side_effect_free() {
     let run = |probing: bool| {
         let base = EdgeChurnNetwork::new(n, 0.15, 9);
         if probing {
-            let mut sim = Simulator::new(
+            let mut sim = Simulator::builder(
                 DispersionDynamic::new(),
                 Probing {
                     inner: base,
@@ -242,20 +236,20 @@ fn oracle_probing_is_side_effect_free() {
                 },
                 ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
                 Configuration::rooted(n, k, NodeId::new(0)),
-                SimOptions::default(),
             )
+            .build()
             .unwrap();
             let out = sim.run().unwrap();
             assert!(sim.network().probes > 0, "the wrapper did probe");
             out
         } else {
-            let mut sim = Simulator::new(
+            let mut sim = Simulator::builder(
                 DispersionDynamic::new(),
                 base,
                 ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
                 Configuration::rooted(n, k, NodeId::new(0)),
-                SimOptions::default(),
             )
+            .build()
             .unwrap();
             sim.run().unwrap()
         }
@@ -272,16 +266,14 @@ fn end_to_end_runs_are_deterministic() {
     // Same seeds, same everything: the whole stack is reproducible.
     for seed in 0..3u64 {
         let mk = || {
-            let mut sim = Simulator::new(
+            let mut sim = Simulator::builder(
                 DispersionDynamic::new(),
                 MinProgressSampler::new(18, 6, 0.12, seed),
                 ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
                 Configuration::random(18, 12, seed, true),
-                SimOptions {
-                    record_graphs: true,
-                    ..SimOptions::default()
-                },
             )
+            .trace(TracePolicy::RoundsAndGraphs)
+            .build()
             .unwrap();
             sim.run().unwrap()
         };

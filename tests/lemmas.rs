@@ -19,7 +19,7 @@ use dispersion_core::{component::ConnectedComponent, DisjointPathSet, SpanningTr
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::{EdgeChurnNetwork, StaticNetwork};
 use dispersion_engine::{
-    build_packets, Configuration, InfoPacket, ModelSpec, RobotId, SimOptions, Simulator,
+    build_packets, Configuration, InfoPacket, ModelSpec, RobotId, Simulator,
 };
 use dispersion_graph::{connectivity, generators, traversal, NodeId, PortLabeledGraph};
 
@@ -170,13 +170,13 @@ fn lemma7_progress_every_round() {
     for seed in 0..15u64 {
         let n = 12 + (seed as usize % 10);
         let k = 4 + (seed as usize % (n - 4));
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             EdgeChurnNetwork::new(n, 0.15, seed),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::random(n, k, seed, true),
-            SimOptions::default(),
         )
+        .build()
         .unwrap();
         let out = sim.run().unwrap();
         assert!(out.dispersed);
@@ -196,13 +196,13 @@ fn lemma8_memory_log_k() {
     for k in [2usize, 3, 7, 15, 16, 31, 33, 100] {
         let n = k + 5;
         let g = generators::random_connected(n, 0.1, k as u64).unwrap();
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             StaticNetwork::new(g),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions::default(),
         )
+        .build()
         .unwrap();
         let out = sim.run().unwrap();
         let expected = dispersion_engine::RobotId::bits_for_population(k);

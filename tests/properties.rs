@@ -5,7 +5,7 @@ use dispersion_core::{component::ConnectedComponent, DisjointPathSet, SpanningTr
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::EdgeChurnNetwork;
 use dispersion_engine::{
-    build_packets, Configuration, ModelSpec, SimOptions, Simulator,
+    build_packets, Configuration, ModelSpec, Simulator,
 };
 use dispersion_graph::{connectivity, generators, relabel, GraphBuilder, NodeId};
 use proptest::prelude::*;
@@ -82,13 +82,12 @@ proptest! {
     fn algorithm4_disperses_within_k_rounds((n, p, seed) in graph_params()) {
         let n = n.max(3);
         let k = 2 + (seed as usize % (n - 1));
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             EdgeChurnNetwork::new(n, p, seed),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::random(n, k.min(n), seed, true),
-            SimOptions::default(),
-        ).unwrap();
+        ).build().unwrap();
         let out = sim.run().unwrap();
         prop_assert!(out.dispersed);
         prop_assert!(out.rounds <= out.k as u64,
@@ -105,13 +104,12 @@ proptest! {
     fn robots_never_leave_the_graph((n, p, seed) in graph_params()) {
         let n = n.max(3);
         let k = 2 + (seed as usize % (n - 1));
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             EdgeChurnNetwork::new(n, p, seed),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::random(n, k.min(n), seed, true),
-            SimOptions::default(),
-        ).unwrap();
+        ).build().unwrap();
         let out = sim.run().unwrap();
         prop_assert_eq!(out.final_config.robot_count(), out.k);
         for (_, node) in out.final_config.iter() {
@@ -185,14 +183,13 @@ proptest! {
         let (n, k) = (16usize, 11usize);
         let f = f.min(k);
         let plan = FaultPlan::random(k, f, 6, CrashPhase::BeforeCommunicate, seed);
-        let sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             EdgeChurnNetwork::new(n, 0.12, seed),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions::default(),
-        ).unwrap();
-        let out = sim.with_faults(plan).run().unwrap();
+        ).faults(plan).build().unwrap();
+        let out = sim.run().unwrap();
         prop_assert!(out.dispersed);
         prop_assert!(out.rounds <= k as u64);
         prop_assert_eq!(out.final_config.robot_count(), k - out.crashes);
@@ -206,13 +203,12 @@ proptest! {
     ) {
         use dispersion_engine::adversary::DynamicRingNetwork;
         let n = k + 2;
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             DynamicRingNetwork::new(n, drop_edge, seed),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions::default(),
-        ).unwrap();
+        ).build().unwrap();
         let out = sim.run().unwrap();
         prop_assert!(out.dispersed);
         prop_assert!(out.rounds <= k as u64);
@@ -225,13 +221,12 @@ proptest! {
     ) {
         use dispersion_engine::adversary::StarPairAdversary;
         let n = k + 3 + (seed as usize % 4);
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             StarPairAdversary::new(n),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new((seed % n as u64) as u32)),
-            SimOptions::default(),
-        ).unwrap();
+        ).build().unwrap();
         let out = sim.run().unwrap();
         prop_assert!(out.dispersed);
         prop_assert_eq!(out.rounds, (k - 1) as u64);

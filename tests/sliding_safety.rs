@@ -3,9 +3,7 @@
 
 use dispersion_core::{DispersionDynamic, RoundComputation};
 use dispersion_engine::adversary::StaticNetwork;
-use dispersion_engine::{
-    Configuration, ModelSpec, RobotId, SimOptions, Simulator, StepStatus,
-};
+use dispersion_engine::{Configuration, ModelSpec, RobotId, Simulator, Step};
 use dispersion_graph::{GraphBuilder, NodeId, PortLabeledGraph};
 
 fn r(i: u32) -> RobotId {
@@ -18,17 +16,17 @@ fn v(i: u32) -> NodeId {
 /// One round of Algorithm 4 on a static graph; returns the configuration
 /// after the slide.
 fn one_round(g: &PortLabeledGraph, cfg: &Configuration) -> Configuration {
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::new(),
         StaticNetwork::new(g.clone()),
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         cfg.clone(),
-        SimOptions::default(),
     )
+    .build()
     .unwrap();
     match sim.step().unwrap() {
-        StepStatus::Advanced(_) => {}
-        StepStatus::Dispersed => panic!("fixtures start undispersed"),
+        Step::Advanced(_) => {}
+        Step::Dispersed => panic!("fixtures start undispersed"),
     }
     sim.configuration().clone()
 }
@@ -65,13 +63,13 @@ fn two_paths_may_share_the_empty_target() {
         assert!(after.count_at(v(node)) >= 1, "node {node} stayed occupied");
     }
     // And the run still finishes within k rounds overall.
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::new(),
         StaticNetwork::new(g),
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         cfg,
-        SimOptions::default(),
     )
+    .build()
     .unwrap();
     let out = sim.run().unwrap();
     assert!(out.dispersed);
@@ -160,13 +158,13 @@ fn interior_multiplicities_survive_and_resolve() {
     assert_eq!(after.count_at(v(3)), 1);
     assert!(after.count_at(v(1)) >= 2);
     // And the full run resolves all multiplicities within k rounds.
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         DispersionDynamic::new(),
         StaticNetwork::new(g),
         ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
         cfg,
-        SimOptions::default(),
     )
+    .build()
     .unwrap();
     let out = sim.run().unwrap();
     assert!(out.dispersed);

@@ -6,7 +6,7 @@ use dispersion_engine::adversary::{
     CliqueTrapAdversary, EdgeChurnNetwork, PathTrapAdversary, StarPairAdversary,
 };
 use dispersion_engine::{
-    Configuration, CrashPhase, FaultPlan, ModelSpec, SimOptions, Simulator,
+    Configuration, CrashPhase, FaultPlan, ModelSpec, Simulator,
 };
 use dispersion_graph::NodeId;
 
@@ -29,16 +29,14 @@ fn theorem1_local_model_never_disperses() {
 fn theorem1_trap_also_holds_blind_local_victims() {
     // A victim that is even weaker (no neighborhood knowledge) is trapped
     // a fortiori — the adversary construction doesn't care.
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         GreedyLocal::new(),
         PathTrapAdversary::new(11),
         ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
         impossibility::near_dispersed_config(11, 6),
-        SimOptions {
-            max_rounds: 300,
-            ..SimOptions::default()
-        },
     )
+    .max_rounds(300)
+    .build()
     .unwrap();
     let out = sim.run().unwrap();
     assert!(!out.dispersed);
@@ -49,13 +47,13 @@ fn theorem1_same_victim_escapes_on_static_graphs() {
     // The impossibility is about dynamism: the same greedy local victim
     // disperses on a static star instantly.
     let g = dispersion_graph::generators::star(10).unwrap();
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         GreedyLocal::new(),
         dispersion_engine::adversary::StaticNetwork::new(g),
         ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
         Configuration::rooted(10, 8, NodeId::new(0)),
-        SimOptions::default(),
     )
+    .build()
     .unwrap();
     let out = sim.run().unwrap();
     assert!(out.dispersed);
@@ -78,16 +76,14 @@ fn theorem2_blind_global_never_progresses() {
 #[test]
 fn theorem2_same_victim_escapes_on_static_graphs() {
     let g = dispersion_graph::generators::complete(9).unwrap();
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         BlindGlobal::new(),
         dispersion_engine::adversary::StaticNetwork::new(g),
         ModelSpec::GLOBAL_BLIND,
         impossibility::near_dispersed_config(9, 5),
-        SimOptions {
-            max_rounds: 1000,
-            ..SimOptions::default()
-        },
     )
+    .max_rounds(1000)
+    .build()
     .unwrap();
     let out = sim.run().unwrap();
     assert!(out.dispersed, "blind-global finishes on a static clique");
@@ -101,16 +97,14 @@ fn theorem2_trap_even_against_algorithm4_without_sensing() {
     // requires sensing and (correctly) panics without it — so this test
     // uses BlindGlobal and merely confirms the clique trap needs no
     // assumptions about the victim beyond determinism.
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::builder(
         BlindGlobal::new(),
         CliqueTrapAdversary::new(12),
         ModelSpec::GLOBAL_BLIND,
         impossibility::near_dispersed_config(12, 7),
-        SimOptions {
-            max_rounds: 200,
-            ..SimOptions::default()
-        },
     )
+    .max_rounds(200)
+    .build()
     .unwrap();
     let out = sim.run().unwrap();
     assert!(!out.dispersed);
@@ -141,13 +135,13 @@ fn theorem4_upper_bound_k_rounds_log_k_bits() {
     for seed in 0..10u64 {
         let n = 14 + (seed as usize % 12);
         let k = 3 + (seed as usize % (n - 3));
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             EdgeChurnNetwork::new(n, 0.12, seed),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::random(n, k, seed, true),
-            SimOptions::default(),
         )
+        .build()
         .unwrap();
         let out = sim.run().unwrap();
         assert!(out.dispersed, "seed {seed}");
@@ -165,13 +159,13 @@ fn theorem4_against_its_own_lower_bound_adversary() {
     // The bound is Θ(k): the star-pair adversary shows rounds ≥ k−1 and
     // Algorithm 4 achieves exactly k−1.
     for k in [3usize, 9, 17, 25] {
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             StarPairAdversary::new(k + 4),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(k + 4, k, NodeId::new(0)),
-            SimOptions::default(),
         )
+        .build()
         .unwrap();
         let out = sim.run().unwrap();
         assert_eq!(out.rounds, (k - 1) as u64);
@@ -200,15 +194,15 @@ fn theorem5_crash_faults_k_minus_f_rounds() {
                 e
             })
             .collect();
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             DispersionDynamic::new(),
             StarPairAdversary::new(n),
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, k, NodeId::new(0)),
-            SimOptions::default(),
         )
-        .unwrap()
-        .with_faults(FaultPlan::from_events(events));
+        .faults(FaultPlan::from_events(events))
+        .build()
+        .unwrap();
         let out = sim.run().unwrap();
         assert!(out.dispersed);
         assert_eq!(out.crashes, f);
@@ -229,7 +223,7 @@ fn theorem5_mid_run_crashes_stay_within_bound() {
             EdgeChurnNetwork::new(n, 0.15, seed),
             Configuration::rooted(n, k, NodeId::new(0)),
             plan,
-            SimOptions::default(),
+            dispersion_engine::SimOptions::default(),
         )
         .unwrap();
         assert!(out.dispersed, "seed {seed}");

@@ -9,7 +9,7 @@ use dispersion_core::impossibility::near_dispersed_config;
 use dispersion_engine::adversary::{CliqueTrapAdversary, PathTrapAdversary, StaticNetwork};
 use dispersion_engine::{
     Action, Configuration, DispersionAlgorithm, MemoryFootprint, ModelSpec, RobotId,
-    RobotView, SimOptions, Simulator,
+    RobotView, Simulator,
 };
 use dispersion_graph::{generators, NodeId, Port};
 
@@ -157,16 +157,14 @@ fn clique_trap_holds_every_blind_victim() {
     ] {
         for k in [3usize, 5, 8] {
             let n = k + 5;
-            let mut sim = Simulator::new(
+            let mut sim = Simulator::builder(
                 BlindVictim { rule },
                 CliqueTrapAdversary::new(n),
                 ModelSpec::GLOBAL_BLIND,
                 near_dispersed_config(n, k),
-                SimOptions {
-                    max_rounds: ROUNDS,
-                    ..SimOptions::default()
-                },
             )
+            .max_rounds(ROUNDS)
+            .build()
             .unwrap();
             let out = sim.run().unwrap();
             assert!(!out.dispersed, "{rule:?} k={k} escaped the clique trap");
@@ -187,16 +185,14 @@ fn path_trap_holds_every_local_victim() {
     ] {
         for k in [5usize, 7] {
             let n = k + 4;
-            let mut sim = Simulator::new(
+            let mut sim = Simulator::builder(
                 LocalVictim { rule },
                 PathTrapAdversary::new(n),
                 ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
                 near_dispersed_config(n, k),
-                SimOptions {
-                    max_rounds: ROUNDS,
-                    ..SimOptions::default()
-                },
             )
+            .max_rounds(ROUNDS)
+            .build()
             .unwrap();
             let out = sim.run().unwrap();
             assert!(!out.dispersed, "{rule:?} k={k} escaped the path trap");
@@ -214,32 +210,28 @@ fn every_victim_escapes_on_static_graphs() {
     // deterministic rule, silly ones included.)
     for rule in [BlindRule::RoundRobin, BlindRule::IdSpread, BlindRule::Lazy] {
         let n = 9;
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             BlindVictim { rule },
             StaticNetwork::new(generators::complete(n).unwrap()),
             ModelSpec::GLOBAL_BLIND,
             near_dispersed_config(n, 5),
-            SimOptions {
-                max_rounds: 20_000,
-                ..SimOptions::default()
-            },
         )
+        .max_rounds(20_000)
+        .build()
         .unwrap();
         let out = sim.run().unwrap();
         assert!(out.dispersed, "{rule:?} should finish on a static clique");
     }
     for rule in [LocalRule::GreedySmallest, LocalRule::GreedyLargest] {
         let n = 10;
-        let mut sim = Simulator::new(
+        let mut sim = Simulator::builder(
             LocalVictim { rule },
             StaticNetwork::new(generators::star(n).unwrap()),
             ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(n, 7, NodeId::new(0)),
-            SimOptions {
-                max_rounds: 20_000,
-                ..SimOptions::default()
-            },
         )
+        .max_rounds(20_000)
+        .build()
         .unwrap();
         let out = sim.run().unwrap();
         assert!(out.dispersed, "{rule:?} should finish on a static star");
