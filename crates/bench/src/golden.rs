@@ -10,6 +10,7 @@
 use std::fmt::Write as _;
 
 use dispersion_core::baselines::{BlindGlobal, GreedyLocal, LocalDfs, RandomWalk};
+use dispersion_core::byzantine::{ByzantineStrategy, WithByzantine};
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::{
     DynamicNetwork, DynamicRingNetwork, EdgeChurnNetwork, MinProgressSampler,
@@ -17,7 +18,7 @@ use dispersion_engine::adversary::{
 };
 use dispersion_engine::{
     Configuration, CrashPhase, DispersionAlgorithm, FaultPlan, ModelSpec,
-    SimOutcome, Simulator,
+    RobotId, SimOutcome, Simulator,
 };
 use dispersion_graph::{generators, NodeId};
 
@@ -122,6 +123,20 @@ pub struct GoldenCase {
     pub seed: u64,
     /// Robots crashed by a seeded fault plan (0 = fault-free).
     pub faults: usize,
+    /// Hard round cap. Byzantine cases never settle, so they carry a
+    /// small cap that bounds fixture size; everything else uses 500.
+    pub max_rounds: u64,
+    /// Byzantine configuration: the first `count` robots (1-based IDs)
+    /// follow `strategy` instead of the honest algorithm.
+    pub byzantine: Option<(usize, ByzantineStrategy)>,
+}
+
+fn strategy_name(strategy: ByzantineStrategy) -> &'static str {
+    match strategy {
+        ByzantineStrategy::Freeze => "freeze",
+        ByzantineStrategy::ChaseCrowds => "chase-crowds",
+        ByzantineStrategy::Scramble => "scramble",
+    }
 }
 
 /// The pinned case list. Append only — renaming or re-seeding a case
@@ -141,6 +156,19 @@ pub fn golden_cases() -> Vec<GoldenCase> {
         k,
         seed,
         faults,
+        max_rounds: 500,
+        byzantine: None,
+    };
+    let byz = |name, algorithm, adversary, n, k, seed, count, strategy| GoldenCase {
+        name,
+        algorithm,
+        adversary,
+        n,
+        k,
+        seed,
+        faults: 0,
+        max_rounds: 40,
+        byzantine: Some((count, strategy)),
     };
     vec![
         case("alg4_static_random", GoldenAlgorithm::Alg4, GoldenAdversary::StaticRandom, 16, 10, 3, 0),
@@ -154,6 +182,14 @@ pub fn golden_cases() -> Vec<GoldenCase> {
         case("greedy_local_static_cycle", GoldenAlgorithm::GreedyLocal, GoldenAdversary::StaticCycle, 16, 10, 3, 0),
         case("random_walk_churn", GoldenAlgorithm::RandomWalk, GoldenAdversary::Churn, 16, 10, 13, 0),
         case("blind_global_star_pair", GoldenAlgorithm::BlindGlobal, GoldenAdversary::StarPair, 14, 9, 0, 0),
+        case("local_dfs_churn_faults", GoldenAlgorithm::LocalDfs, GoldenAdversary::Churn, 16, 10, 17, 2),
+        case("greedy_local_broken_ring_faults", GoldenAlgorithm::GreedyLocal, GoldenAdversary::BrokenRing, 16, 10, 19, 2),
+        case("random_walk_static_random_faults", GoldenAlgorithm::RandomWalk, GoldenAdversary::StaticRandom, 16, 10, 21, 2),
+        case("blind_global_static_cycle_faults", GoldenAlgorithm::BlindGlobal, GoldenAdversary::StaticCycle, 14, 9, 23, 2),
+        byz("alg4_byz_freeze_static_random", GoldenAlgorithm::Alg4, GoldenAdversary::StaticRandom, 12, 8, 25, 2, ByzantineStrategy::Freeze),
+        byz("alg4_byz_chase_churn", GoldenAlgorithm::Alg4, GoldenAdversary::Churn, 12, 8, 27, 2, ByzantineStrategy::ChaseCrowds),
+        byz("alg4_byz_scramble_broken_ring", GoldenAlgorithm::Alg4, GoldenAdversary::BrokenRing, 12, 8, 29, 2, ByzantineStrategy::Scramble),
+        byz("local_dfs_byz_freeze_static_cycle", GoldenAlgorithm::LocalDfs, GoldenAdversary::StaticCycle, 12, 8, 31, 2, ByzantineStrategy::Freeze),
     ]
 }
 
@@ -175,7 +211,7 @@ fn run_case<A: DispersionAlgorithm>(alg: A, case: &GoldenCase) -> SimOutcome {
         case.algorithm.model(),
         Configuration::rooted(case.n, case.k, NodeId::new(0)),
     )
-    .max_rounds(500)
+    .max_rounds(case.max_rounds)
     .faults(plan)
     .build()
     .expect("golden cases satisfy k ≤ n")
@@ -183,14 +219,26 @@ fn run_case<A: DispersionAlgorithm>(alg: A, case: &GoldenCase) -> SimOutcome {
     .expect("golden cases run to completion")
 }
 
+/// Runs `alg` for `case`, wrapping it in [`WithByzantine`] when the case
+/// carries a Byzantine configuration.
+fn run_maybe_byzantine<A: DispersionAlgorithm>(alg: A, case: &GoldenCase) -> SimOutcome {
+    match case.byzantine {
+        Some((count, strategy)) => run_case(
+            WithByzantine::new(alg, (1..=count as u32).map(RobotId::new), strategy),
+            case,
+        ),
+        None => run_case(alg, case),
+    }
+}
+
 /// Executes one case and renders its canonical fixture text.
 pub fn render_case(case: &GoldenCase) -> String {
     let outcome = match case.algorithm {
-        GoldenAlgorithm::Alg4 => run_case(DispersionDynamic::new(), case),
-        GoldenAlgorithm::LocalDfs => run_case(LocalDfs::new(), case),
-        GoldenAlgorithm::RandomWalk => run_case(RandomWalk::new(case.seed), case),
-        GoldenAlgorithm::GreedyLocal => run_case(GreedyLocal::new(), case),
-        GoldenAlgorithm::BlindGlobal => run_case(BlindGlobal::new(), case),
+        GoldenAlgorithm::Alg4 => run_maybe_byzantine(DispersionDynamic::new(), case),
+        GoldenAlgorithm::LocalDfs => run_maybe_byzantine(LocalDfs::new(), case),
+        GoldenAlgorithm::RandomWalk => run_maybe_byzantine(RandomWalk::new(case.seed), case),
+        GoldenAlgorithm::GreedyLocal => run_maybe_byzantine(GreedyLocal::new(), case),
+        GoldenAlgorithm::BlindGlobal => run_maybe_byzantine(BlindGlobal::new(), case),
     };
     let mut out = String::from("golden-trace v1\n");
     let _ = writeln!(
@@ -203,6 +251,17 @@ pub fn render_case(case: &GoldenCase) -> String {
         case.seed,
         case.faults,
     );
+    // Extra header line for Byzantine cases only, so the pre-existing
+    // fixtures stay byte-identical.
+    if let Some((count, strategy)) = case.byzantine {
+        let _ = writeln!(
+            out,
+            "byzantine={} strategy={} max_rounds={}",
+            count,
+            strategy_name(strategy),
+            case.max_rounds,
+        );
+    }
     let _ = writeln!(
         out,
         "dispersed={} rounds={} crashes={} max_memory_bits={}",
@@ -238,5 +297,39 @@ mod tests {
     fn render_is_deterministic() {
         let case = &golden_cases()[0];
         assert_eq!(render_case(case), render_case(case));
+    }
+
+    #[test]
+    fn every_algorithm_has_a_faulty_case() {
+        let cases = golden_cases();
+        for alg in ["alg4", "local-dfs", "greedy-local", "random-walk", "blind-global"] {
+            assert!(
+                cases
+                    .iter()
+                    .any(|c| c.algorithm.name() == alg && c.faults > 0),
+                "no faulty golden case for {alg}"
+            );
+        }
+    }
+
+    #[test]
+    fn byzantine_cases_render_their_configuration() {
+        let cases = golden_cases();
+        let byz: Vec<_> = cases.iter().filter(|c| c.byzantine.is_some()).collect();
+        assert!(byz.len() >= 3, "expected Byzantine coverage");
+        let rendered = render_case(byz[0]);
+        assert!(
+            rendered.contains("byzantine=2 strategy="),
+            "missing Byzantine header:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn pre_rewrite_cases_render_no_byzantine_header() {
+        // The first 11 cases predate the Byzantine extension; their
+        // fixtures must stay byte-identical, so the extra header line
+        // must never leak into them.
+        let rendered = render_case(&golden_cases()[0]);
+        assert!(!rendered.contains("byzantine="), "{rendered}");
     }
 }

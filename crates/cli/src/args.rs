@@ -107,6 +107,29 @@ pub enum Command {
         fresh: bool,
         /// Artifact directory.
         out_dir: String,
+        /// Run every job under the conformance monitor.
+        check: bool,
+    },
+    /// `dispersion check …` — run under the conformance monitor: either
+    /// replay a campaign JSONL artifact, or check one directly-specified
+    /// run (network × n × k × seed) under the full invariant suite.
+    Check {
+        /// Campaign artifact to replay under checking (exclusive with
+        /// the spec flags).
+        artifact: Option<String>,
+        /// Dynamic network for a direct spec check.
+        network: NetworkKind,
+        /// Nodes.
+        n: usize,
+        /// Robots.
+        k: usize,
+        /// RNG seed (also the replay seed reported on violations).
+        seed: u64,
+        /// Crash `f` random robots during the run.
+        faults: usize,
+        /// Arm only the structural (any-algorithm) invariants, not the
+        /// Algorithm 4 theorem bounds.
+        structural: bool,
     },
     /// `dispersion bench …` — run the engine round-loop throughput
     /// harness (the `BENCH_engine.json` matrix).
@@ -305,6 +328,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
             let mut keep_traces = false;
             let mut fresh = false;
             let mut out_dir = String::from("results");
+            let mut check = false;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--name" => spec.name = take_value(flag, &mut iter)?.to_string(),
@@ -379,6 +403,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
                     "--out" => out_dir = take_value(flag, &mut iter)?.to_string(),
                     "--keep-traces" => keep_traces = true,
                     "--fresh" => fresh = true,
+                    "--check" => check = true,
                     other => return Err(ParseError::UnknownFlag(other.into())),
                 }
             }
@@ -389,6 +414,49 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
                 keep_traces,
                 fresh,
                 out_dir,
+                check,
+            })
+        }
+        "check" => {
+            let mut artifact = None;
+            let mut network = NetworkKind::Churn;
+            let mut n = 20usize;
+            let mut k = 12usize;
+            let mut seed = 7u64;
+            let mut faults = 0usize;
+            let mut structural = false;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--artifact" => artifact = Some(take_value(flag, &mut iter)?.to_string()),
+                    "--network" => network = NetworkKind::parse(take_value(flag, &mut iter)?)?,
+                    "--n" => n = parse_num(flag, take_value(flag, &mut iter)?, "a positive integer")?,
+                    "--k" => k = parse_num(flag, take_value(flag, &mut iter)?, "a positive integer")?,
+                    "--seed" => {
+                        seed = parse_num(flag, take_value(flag, &mut iter)?, "an integer seed")?
+                    }
+                    "--faults" => {
+                        faults = parse_num(flag, take_value(flag, &mut iter)?, "a fault count")?
+                    }
+                    "--structural" => structural = true,
+                    other => return Err(ParseError::UnknownFlag(other.into())),
+                }
+            }
+            if artifact.is_none() {
+                if k == 0 || n == 0 || k > n {
+                    return Err(ParseError::Invalid("need 1 ≤ k ≤ n"));
+                }
+                if faults > k {
+                    return Err(ParseError::Invalid("faults must not exceed k"));
+                }
+            }
+            Ok(Command::Check {
+                artifact,
+                network,
+                n,
+                k,
+                seed,
+                faults,
+                structural,
             })
         }
         "bench" => {
@@ -514,7 +582,9 @@ USAGE:
                         [--ks 4,8,16] [--n-rule 3k/2] [--faults 0,1] [--seeds S]
                         [--campaign-seed S] [--placement rooted|scattered|near-dispersed]
                         [--max-rounds R] [--edge-prob P] [--jobs J] [--out DIR]
-                        [--fresh] [--keep-traces]
+                        [--fresh] [--keep-traces] [--check]
+    dispersion check [--artifact FILE | [--network …] [--n N] [--k K] [--seed S]
+                     [--faults F] [--structural]]
     dispersion bench [--out FILE] [--label L] [--baseline FILE] [--quick]
     dispersion trap --theorem 1|2 [--k K] [--rounds R]
     dispersion dot [--network …] [--n N] [--k K] [--seed S]
@@ -527,7 +597,13 @@ SUBCOMMANDS:
     sweep        rounds-vs-k summary table over seeds (min/mean/max)
     campaign     run a (algorithm × network × k × faults × seed) grid in
                  parallel, streaming one JSONL record per run to
-                 DIR/NAME.jsonl; reruns resume where the artifact stops
+                 DIR/NAME.jsonl; reruns resume where the artifact stops;
+                 --check arms the conformance monitor on every job
+    check        run under the runtime invariant oracle: replay a campaign
+                 artifact's runs under checking, or conformance-check one
+                 spec directly (full suite; --structural drops the
+                 Algorithm 4 theorem bounds); violations report the round,
+                 the ids involved, and the replay seed
     bench        measure engine round-loop throughput (rounds/sec and
                  robot-steps/sec) over ring/grid/adversarial networks;
                  --quick is the CI smoke matrix, --baseline embeds an
@@ -650,20 +726,20 @@ mod tests {
 
     #[test]
     fn parses_campaign_defaults() {
-        let Command::Campaign { spec, jobs, keep_traces, fresh, out_dir } =
+        let Command::Campaign { spec, jobs, keep_traces, fresh, out_dir, check } =
             parse(["campaign"]).unwrap()
         else {
             panic!("expected campaign");
         };
         assert_eq!(spec, CampaignSpec::default());
         assert_eq!(jobs, 1);
-        assert!(!keep_traces && !fresh);
+        assert!(!keep_traces && !fresh && !check);
         assert_eq!(out_dir, "results");
     }
 
     #[test]
     fn parses_campaign_full() {
-        let Command::Campaign { spec, jobs, keep_traces, fresh, out_dir } = parse([
+        let Command::Campaign { spec, jobs, keep_traces, fresh, out_dir, check } = parse([
             "campaign",
             "--name",
             "nightly",
@@ -693,6 +769,7 @@ mod tests {
             "artifacts",
             "--fresh",
             "--keep-traces",
+            "--check",
         ])
         .unwrap()
         else {
@@ -716,8 +793,41 @@ mod tests {
         assert_eq!(spec.max_rounds, 5000);
         assert!((spec.edge_prob - 0.25).abs() < 1e-12);
         assert_eq!(jobs, 4);
-        assert!(keep_traces && fresh);
+        assert!(keep_traces && fresh && check);
         assert_eq!(out_dir, "artifacts");
+    }
+
+    #[test]
+    fn parses_check() {
+        assert_eq!(
+            parse(["check", "--network", "ring", "--n", "10", "--k", "6", "--seed", "3"]).unwrap(),
+            Command::Check {
+                artifact: None,
+                network: NetworkKind::Ring,
+                n: 10,
+                k: 6,
+                seed: 3,
+                faults: 0,
+                structural: false,
+            }
+        );
+        let Command::Check { artifact, structural, .. } =
+            parse(["check", "--artifact", "results/nightly.jsonl", "--structural"]).unwrap()
+        else {
+            panic!("expected check");
+        };
+        assert_eq!(artifact.as_deref(), Some("results/nightly.jsonl"));
+        assert!(structural);
+        // Spec mode validates like `run`; artifact mode skips it.
+        assert!(matches!(
+            parse(["check", "--k", "30", "--n", "10"]),
+            Err(ParseError::Invalid(_))
+        ));
+        assert!(parse(["check", "--artifact", "a.jsonl", "--k", "30", "--n", "10"]).is_ok());
+        assert!(matches!(
+            parse(["check", "--frobnicate"]),
+            Err(ParseError::UnknownFlag(_))
+        ));
     }
 
     #[test]

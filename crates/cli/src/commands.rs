@@ -9,7 +9,8 @@ use dispersion_engine::adversary::{
     TIntervalNetwork,
 };
 use dispersion_engine::{
-    Configuration, CrashPhase, FaultPlan, ModelSpec, RobotId, SimError, Simulator, Step,
+    CheckPolicy, Configuration, CrashPhase, FaultPlan, ModelSpec, RobotId, SimError, Simulator,
+    Step,
 };
 use dispersion_graph::{generators, NodeId};
 
@@ -48,7 +49,17 @@ pub fn execute(cmd: Command) -> Result<String, DispersionError> {
             keep_traces,
             fresh,
             out_dir,
-        } => campaign(spec, jobs, keep_traces, fresh, out_dir),
+            check,
+        } => campaign(spec, jobs, keep_traces, fresh, out_dir, check),
+        Command::Check {
+            artifact,
+            network,
+            n,
+            k,
+            seed,
+            faults,
+            structural,
+        } => check(artifact, network, n, k, seed, faults, structural),
         Command::Bench {
             out,
             label,
@@ -68,6 +79,7 @@ fn campaign(
     keep_traces: bool,
     fresh: bool,
     out_dir: String,
+    check: bool,
 ) -> Result<String, DispersionError> {
     let opts = RunnerOptions {
         jobs,
@@ -75,11 +87,13 @@ fn campaign(
         fresh,
         out_dir: out_dir.into(),
         quiet: false,
+        check,
     };
     let artifact = artifact_path(&spec, &opts);
     let report = run_campaign(&spec, &opts)?;
     Ok(format!(
-        "campaign `{}` (spec {:016x}): {} jobs ({} executed, {} resumed), {} panicked\n\
+        "campaign `{}` (spec {:016x}): {} jobs ({} executed, {} resumed), {} panicked, \
+         {} invariant violations\n\
          artifact: {}\n\n{}\n",
         spec.name,
         spec.spec_hash(),
@@ -87,9 +101,152 @@ fn campaign(
         report.executed,
         report.resumed,
         report.total_panics(),
+        report.total_violations(),
         artifact.display(),
         report.render(),
     ))
+}
+
+/// `dispersion check`: conformance-check either every run recorded in a
+/// campaign artifact, or one directly-specified run.
+fn check(
+    artifact: Option<String>,
+    network: NetworkKind,
+    n: usize,
+    k: usize,
+    seed: u64,
+    faults: usize,
+    structural: bool,
+) -> Result<String, DispersionError> {
+    match artifact {
+        Some(path) => check_artifact(&path),
+        None => Ok(check_spec(network, n, k, seed, faults, structural)?),
+    }
+}
+
+/// Re-runs a spec under the invariant monitor: one monitored run, then a
+/// same-seed replay that must regenerate the identical graph sequence
+/// (adversary determinism). Violations render with round, ids, and the
+/// replay seed rather than aborting the CLI.
+fn check_spec(
+    kind: NetworkKind,
+    n: usize,
+    k: usize,
+    seed: u64,
+    faults: usize,
+    structural: bool,
+) -> Result<String, SimError> {
+    let policy = if structural { CheckPolicy::Structural } else { CheckPolicy::Full };
+    let plan = || {
+        if faults > 0 {
+            FaultPlan::random(k, faults, (k as u64 / 2).max(1), CrashPhase::BeforeCommunicate, seed)
+        } else {
+            FaultPlan::none()
+        }
+    };
+    let build = || {
+        Simulator::builder(
+            DispersionDynamic::new(),
+            make_network(kind, n, seed),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(n, k, NodeId::new(0)),
+        )
+        .faults(plan())
+        .check(policy)
+        .check_seed(seed)
+    };
+    let mut out = format!(
+        "conformance check: n={n} k={k} network={} seed={seed} faults={faults} policy={policy}\n",
+        make_network(kind, n, seed).name(),
+    );
+    let mut sim = build().build()?;
+    match sim.run() {
+        Ok(outcome) => {
+            out.push_str(&format!(
+                "run: dispersed={} in {} rounds — every armed invariant held\n",
+                outcome.dispersed, outcome.rounds
+            ));
+            let hashes = sim.monitor().expect("checking armed").graph_hashes().to_vec();
+            let mut replay = build().check_expected_graphs(hashes.clone()).build()?;
+            match replay.run() {
+                Ok(_) => out.push_str(&format!(
+                    "determinism: same-seed replay regenerated all {} round graphs\n",
+                    hashes.len()
+                )),
+                Err(SimError::InvariantViolation(v)) => {
+                    out.push_str(&format!("determinism VIOLATION: {v}\n"));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(SimError::InvariantViolation(v)) => {
+            out.push_str(&format!("VIOLATION: {v}\n"));
+        }
+        Err(e) => return Err(e),
+    }
+    Ok(out)
+}
+
+/// Replays every run record of a campaign artifact under the conformance
+/// monitor (full suite for Algorithm 4, structural for baselines).
+/// Replay uses the default spec knobs (round cap, edge probability,
+/// placement); the per-run (algorithm, adversary, n, k, faults, seed)
+/// tuples come from the records themselves.
+fn check_artifact(path: &str) -> Result<String, DispersionError> {
+    use dispersion_lab::job::{self, RunJob};
+    use dispersion_lab::{AdversaryKind, AlgorithmKind, RunRecord, RunStatus};
+
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| DispersionError::Other(format!("{path}: {e}").into()))?;
+    let spec = CampaignSpec::default();
+    let (mut clean, mut skipped) = (0usize, 0usize);
+    let mut bad = Vec::new();
+    for line in text.lines() {
+        let Some(rec) = RunRecord::parse_line(line) else {
+            continue; // header, reports, or foreign lines
+        };
+        let (Ok(algorithm), Ok(adversary)) =
+            (AlgorithmKind::parse(&rec.algorithm), AdversaryKind::parse(&rec.adversary))
+        else {
+            skipped += 1;
+            continue;
+        };
+        let job = RunJob {
+            job_id: rec.job_id,
+            algorithm,
+            adversary,
+            n: rec.n,
+            k: rec.k,
+            faults: rec.faults,
+            seed_index: rec.seed_index,
+            derived_seed: rec.seed,
+        };
+        let checked = job::execute(&job, &spec, false, true);
+        match checked.status {
+            RunStatus::Ok => clean += 1,
+            status => bad.push(format!(
+                "job {} ({} vs {} n={} k={} f={} seed={}): {} — {}",
+                rec.job_id,
+                rec.algorithm,
+                rec.adversary,
+                rec.n,
+                rec.k,
+                rec.faults,
+                rec.seed,
+                status.name(),
+                checked.message.as_deref().unwrap_or("(no message)"),
+            )),
+        }
+    }
+    let mut out = format!(
+        "conformance replay of {path}: {clean} clean, {} flagged, {skipped} unparseable\n",
+        bad.len()
+    );
+    for line in &bad {
+        out.push_str(line);
+        out.push('\n');
+    }
+    Ok(out)
 }
 
 fn bench(
@@ -538,6 +695,7 @@ mod tests {
             keep_traces: false,
             fresh: true,
             out_dir: out_dir.display().to_string(),
+            check: false,
         })
         .unwrap();
         assert!(out.contains("2 executed, 0 resumed"), "{out}");
@@ -550,9 +708,72 @@ mod tests {
             keep_traces: false,
             fresh: false,
             out_dir: out_dir.display().to_string(),
+            check: false,
         })
         .unwrap();
         assert!(again.contains("0 executed, 2 resumed"), "{again}");
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn check_command_passes_on_correct_runs() {
+        let out = execute(Command::Check {
+            artifact: None,
+            network: NetworkKind::Churn,
+            n: 12,
+            k: 8,
+            seed: 3,
+            faults: 1,
+            structural: false,
+        })
+        .unwrap();
+        assert!(out.contains("policy=full"), "{out}");
+        assert!(out.contains("every armed invariant held"), "{out}");
+        assert!(out.contains("same-seed replay regenerated"), "{out}");
+        let structural = execute(Command::Check {
+            artifact: None,
+            network: NetworkKind::StarPair,
+            n: 10,
+            k: 6,
+            seed: 1,
+            faults: 0,
+            structural: true,
+        })
+        .unwrap();
+        assert!(structural.contains("policy=structural"), "{structural}");
+    }
+
+    #[test]
+    fn check_command_replays_artifacts() {
+        let out_dir = std::env::temp_dir().join("dispersion-cli-check-test");
+        let _ = std::fs::remove_dir_all(&out_dir);
+        let spec = CampaignSpec {
+            name: "check-smoke".into(),
+            ks: vec![4],
+            seeds: 2,
+            ..CampaignSpec::default()
+        };
+        execute(Command::Campaign {
+            spec,
+            jobs: 1,
+            keep_traces: false,
+            fresh: true,
+            out_dir: out_dir.display().to_string(),
+            check: true,
+        })
+        .unwrap();
+        let artifact = out_dir.join("check-smoke.jsonl");
+        let out = execute(Command::Check {
+            artifact: Some(artifact.display().to_string()),
+            network: NetworkKind::Churn,
+            n: 0,
+            k: 0,
+            seed: 0,
+            faults: 0,
+            structural: false,
+        })
+        .unwrap();
+        assert!(out.contains("2 clean, 0 flagged"), "{out}");
         let _ = std::fs::remove_dir_all(&out_dir);
     }
 

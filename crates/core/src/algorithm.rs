@@ -70,6 +70,10 @@ impl MemoryFootprint for DynamicMemory {
 #[derive(Debug, Default)]
 pub struct DispersionDynamic {
     policy: SlidingPolicy,
+    /// `true` disables the [`ComputeCache`] and rebuilds Algorithms 1→3
+    /// from the packets on every call — the reference path the
+    /// differential tests compare the memoized path against.
+    naive: bool,
     cache: RefCell<ComputeCache>,
 }
 
@@ -78,6 +82,7 @@ impl Clone for DispersionDynamic {
         // The memoization cache is derived state; a clone starts cold.
         DispersionDynamic {
             policy: self.policy,
+            naive: self.naive,
             cache: RefCell::new(ComputeCache::default()),
         }
     }
@@ -123,6 +128,25 @@ impl DispersionDynamic {
     pub fn with_policy(policy: SlidingPolicy) -> Self {
         DispersionDynamic {
             policy,
+            naive: false,
+            cache: RefCell::new(ComputeCache::default()),
+        }
+    }
+
+    /// Creates the algorithm with the per-packet-set memoization
+    /// disabled: every robot rebuilds the component, spanning tree and
+    /// disjoint paths from its packets on every call — exactly what the
+    /// paper's pseudo-code prescribes.
+    ///
+    /// This is the differential-testing oracle for the memoized default:
+    /// both paths are pure functions of the same inputs, so lockstep
+    /// simulations must agree on every per-round robot state (see the
+    /// `memoization_is_observationally_transparent` property test).
+    /// Orders of magnitude slower; never use it for experiments.
+    pub fn unmemoized() -> Self {
+        DispersionDynamic {
+            policy: SlidingPolicy::default(),
+            naive: true,
             cache: RefCell::new(ComputeCache::default()),
         }
     }
@@ -130,6 +154,12 @@ impl DispersionDynamic {
     /// The active tie-break policy.
     pub fn policy(&self) -> SlidingPolicy {
         self.policy
+    }
+
+    /// Whether this instance bypasses the memoization cache
+    /// (see [`DispersionDynamic::unmemoized`]).
+    pub fn is_unmemoized(&self) -> bool {
+        self.naive
     }
 }
 
@@ -151,6 +181,24 @@ impl DispersionAlgorithm for DispersionDynamic {
             return (Action::Stay, memory.clone());
         }
         let my_node = view.colocated[0];
+        if self.naive {
+            // Reference path: rebuild Algorithms 1→3 from scratch, as the
+            // paper's pseudo-code has every robot do.
+            let component = ConnectedComponent::build(&view.packets, my_node);
+            let tree = if self.policy.bfs_tree {
+                SpanningTree::build_bfs(&component)
+            } else {
+                SpanningTree::build(&component)
+            };
+            let Some(tree) = tree else {
+                return (Action::Stay, memory.clone());
+            };
+            let paths = DisjointPathSet::build(&component, &tree);
+            return (
+                sliding::decide_with_policy(view, &component, &tree, &paths, self.policy),
+                memory.clone(),
+            );
+        }
         let mut cache = self.cache.borrow_mut();
         if cache.packets != view.packets {
             cache.packets.clear();

@@ -5,6 +5,7 @@ use std::fmt;
 
 use dispersion_graph::{GraphError, Port};
 
+use crate::invariants::InvariantViolation;
 use crate::RobotId;
 
 /// Error raised while executing a simulation.
@@ -38,6 +39,17 @@ pub enum SimError {
         /// Node count `n`.
         n: usize,
     },
+    /// A conformance invariant failed while checking was enabled via
+    /// [`crate::SimulatorBuilder::check`]. Carries the round, the
+    /// implicated node/robot ids, and a replayable seed when one was
+    /// registered.
+    InvariantViolation(InvariantViolation),
+}
+
+impl From<InvariantViolation> for SimError {
+    fn from(violation: InvariantViolation) -> Self {
+        SimError::InvariantViolation(violation)
+    }
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +70,7 @@ impl fmt::Display for SimError {
             SimError::TooManyRobots { k, n } => {
                 write!(f, "{k} robots cannot disperse on {n} nodes")
             }
+            SimError::InvariantViolation(v) => write!(f, "{v}"),
         }
     }
 }
@@ -90,6 +103,23 @@ mod tests {
             degree: 3,
         };
         assert!(e.to_string().contains("r2"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn invariant_violation_display_flows_through() {
+        let e = SimError::from(InvariantViolation {
+            invariant: "round-bound",
+            round: 9,
+            detail: "not dispersed after 9 rounds".into(),
+            robots: vec![],
+            nodes: vec![],
+            seed: Some(7),
+        });
+        let s = e.to_string();
+        assert!(s.contains("round-bound"));
+        assert!(s.contains("round 9"));
+        assert!(s.contains("replay seed 7"));
         assert!(e.source().is_none());
     }
 

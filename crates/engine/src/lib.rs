@@ -70,6 +70,7 @@ mod trace;
 mod view;
 
 pub mod adversary;
+pub mod invariants;
 pub mod memory;
 pub mod stats;
 
@@ -77,6 +78,7 @@ pub use algorithm::{Action, DispersionAlgorithm, MemoryFootprint};
 pub use config::Configuration;
 pub use error::SimError;
 pub use faults::{CrashEvent, CrashPhase, FaultPlan};
+pub use invariants::{CheckPolicy, Invariant, InvariantMonitor, InvariantViolation};
 pub use model::{Activation, CommModel, ModelSpec};
 pub use oracle::{MoveOracle, ResolvedMove};
 pub use packet::{

@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::adversary::DynamicNetwork;
+use crate::invariants::{CheckPolicy, InvariantMonitor, RoundContext, TerminalContext};
 use crate::oracle::EngineOracle;
 use crate::packet::{build_own_packet_into, build_packets_into};
 use crate::view::write_node_view;
@@ -202,6 +203,10 @@ pub struct SimulatorBuilder<A: DispersionAlgorithm, N: DynamicNetwork> {
     options: SimOptions,
     faults: FaultPlan,
     scratch_capacity: usize,
+    check: CheckPolicy,
+    check_seed: Option<u64>,
+    check_round_limit: Option<u64>,
+    check_expected_graphs: Option<Vec<u64>>,
 }
 
 impl<A: DispersionAlgorithm, N: DynamicNetwork> SimulatorBuilder<A, N> {
@@ -216,6 +221,10 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> SimulatorBuilder<A, N> {
             options: SimOptions::default(),
             faults: FaultPlan::none(),
             scratch_capacity: 0,
+            check: CheckPolicy::Off,
+            check_seed: None,
+            check_round_limit: None,
+            check_expected_graphs: None,
         }
     }
 
@@ -263,6 +272,40 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> SimulatorBuilder<A, N> {
         self
     }
 
+    /// Installs the stock conformance suite
+    /// ([`crate::invariants::InvariantMonitor::stock`]) at the given
+    /// policy. With [`CheckPolicy::Off`] — the default — no monitor is
+    /// built and `step` stays allocation-free; otherwise every round and
+    /// the terminal state are checked, and the first failure aborts the
+    /// run with [`SimError::InvariantViolation`].
+    pub fn check(mut self, policy: CheckPolicy) -> Self {
+        self.check = policy;
+        self
+    }
+
+    /// Seed reported inside violations so a failing run can be replayed.
+    /// Only meaningful alongside [`SimulatorBuilder::check`].
+    pub fn check_seed(mut self, seed: u64) -> Self {
+        self.check_seed = Some(seed);
+        self
+    }
+
+    /// Overrides the [`crate::invariants::RoundBound`] limit used by
+    /// [`CheckPolicy::Full`] (default: `k`, the Theorem 4 bound).
+    pub fn check_round_limit(mut self, limit: u64) -> Self {
+        self.check_round_limit = Some(limit);
+        self
+    }
+
+    /// Arms [`crate::invariants::AdversaryDeterminism`] with the graph
+    /// fingerprints of a previous run (see
+    /// [`crate::invariants::InvariantMonitor::graph_hashes`]). Only
+    /// meaningful alongside a non-[`CheckPolicy::Off`] policy.
+    pub fn check_expected_graphs(mut self, expected: Vec<u64>) -> Self {
+        self.check_expected_graphs = Some(expected);
+        self
+    }
+
     /// Builds the simulator.
     ///
     /// # Errors
@@ -289,6 +332,16 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> SimulatorBuilder<A, N> {
         let ever_occupied = self.initial.occupied_indicator();
         let recorded_graphs = self.options.trace.graphs().then(GraphSequence::new);
         let scratch = RoundScratch::new(n, self.scratch_capacity);
+        let monitor = self.check.enabled().then(|| {
+            let mut monitor = InvariantMonitor::stock(self.check, k, self.check_round_limit);
+            if let Some(seed) = self.check_seed {
+                monitor.set_seed(seed);
+            }
+            if let Some(expected) = self.check_expected_graphs {
+                monitor.expect_graphs(expected);
+            }
+            monitor
+        });
         Ok(Simulator {
             algorithm: self.algorithm,
             network: self.network,
@@ -306,6 +359,7 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> SimulatorBuilder<A, N> {
             total_crashes: 0,
             decisions: Vec::new(),
             scratch,
+            monitor,
         })
     }
 }
@@ -344,6 +398,8 @@ pub struct Simulator<A: DispersionAlgorithm, N: DynamicNetwork> {
     /// Reused across rounds; drained during Move.
     decisions: Vec<(RobotId, Action, A::Memory)>,
     scratch: RoundScratch,
+    /// `None` (checking off) costs one discriminant test per round.
+    monitor: Option<InvariantMonitor>,
 }
 
 fn activated(activation: Activation, round: u64, robot: RobotId) -> bool {
@@ -416,6 +472,7 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
         }
 
         if self.config.is_dispersed() {
+            self.verify_terminal(true)?;
             return Ok(Step::Dispersed);
         }
 
@@ -591,6 +648,18 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
             seq.push(g.clone())
                 .map_err(|source| SimError::BadAdversaryGraph { round, source })?;
         }
+        // Conformance hook. Direct field access keeps the borrows disjoint
+        // while `g` still borrows `self.network`.
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.check_round(&RoundContext {
+                round,
+                k: self.k,
+                crashes: self.total_crashes,
+                graph: g,
+                config: &self.config,
+                record: &self.scratch.last_record,
+            })?;
+        }
         self.round += 1;
         Ok(Step::Advanced(RoundOutput {
             record: &self.scratch.last_record,
@@ -600,6 +669,25 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
     /// Rounds executed so far.
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// The conformance monitor, when checking is enabled — e.g. to read
+    /// the recorded graph fingerprints after a run.
+    pub fn monitor(&self) -> Option<&InvariantMonitor> {
+        self.monitor.as_ref()
+    }
+
+    fn verify_terminal(&mut self, dispersed: bool) -> Result<(), SimError> {
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.check_terminal(&TerminalContext {
+                rounds: self.round,
+                k: self.k,
+                crashes: self.total_crashes,
+                dispersed,
+                config: &self.config,
+            })?;
+        }
+        Ok(())
     }
 
     /// Per-round records accumulated so far (empty under
@@ -642,7 +730,9 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
                 {
                     self.crash(r);
                 }
-                return Ok(self.outcome(self.config.is_dispersed()));
+                let dispersed = self.config.is_dispersed();
+                self.verify_terminal(dispersed)?;
+                return Ok(self.outcome(dispersed));
             }
             let dispersed = matches!(self.step()?, Step::Dispersed);
             if dispersed {

@@ -12,8 +12,8 @@ use std::cell::Cell;
 
 use dispersion_engine::adversary::StaticNetwork;
 use dispersion_engine::{
-    Action, Configuration, DispersionAlgorithm, MemoryFootprint, ModelSpec, RobotId, RobotView,
-    Simulator, Step, TracePolicy,
+    Action, CheckPolicy, Configuration, DispersionAlgorithm, MemoryFootprint, ModelSpec,
+    RobotId, RobotView, Simulator, Step, TracePolicy,
 };
 use dispersion_graph::{generators, NodeId, Port};
 
@@ -89,6 +89,10 @@ impl DispersionAlgorithm for Walker {
 
 #[test]
 fn steady_state_step_allocates_nothing() {
+    // `CheckPolicy::Off` is the default, but the zero-allocation contract
+    // of the conformance subsystem is part of this test's charter: with
+    // checking off no monitor exists, so the hot path pays one `Option`
+    // discriminant test per round and nothing else.
     let (n, k) = (64usize, 16usize);
     let mut sim = Simulator::builder(
         Walker,
@@ -98,6 +102,7 @@ fn steady_state_step_allocates_nothing() {
     )
     .max_rounds(1_000_000)
     .trace(TracePolicy::Off)
+    .check(CheckPolicy::Off)
     .build()
     .expect("k ≤ n");
 

@@ -1,0 +1,184 @@
+//! Property tests for the graph substrate, feeding the conformance
+//! subsystem's `PortLabelSanity`: every generator family emits valid,
+//! connected port labelings; relabeling is adjacency-preserving; and the
+//! union-find connectivity machinery agrees with BFS reachability on
+//! arbitrary (including disconnected) graphs.
+
+use dispersion_graph::connectivity::{self, DisjointSets};
+use dispersion_graph::{generators, relabel, traversal, GraphBuilder, NodeId, PortLabeledGraph};
+use proptest::prelude::*;
+
+/// Every generator family, driven from one (size, aux, seed) triple.
+fn generated_graphs(n: usize, aux: usize, seed: u64) -> Vec<(&'static str, PortLabeledGraph)> {
+    let a = 2 + aux % 4;
+    let mut out = vec![
+        ("path", generators::path(n).unwrap()),
+        ("cycle", generators::cycle(n.max(3)).unwrap()),
+        ("star", generators::star(n).unwrap()),
+        ("complete", generators::complete(n).unwrap()),
+        (
+            "complete_bipartite",
+            generators::complete_bipartite(a, n).unwrap(),
+        ),
+        ("grid", generators::grid(a, n).unwrap()),
+        ("wheel", generators::wheel(n.max(4)).unwrap()),
+        ("lollipop", generators::lollipop(n.max(3), a).unwrap()),
+        ("random_tree", generators::random_tree(n, seed).unwrap()),
+        (
+            "random_connected",
+            generators::random_connected(n, 0.3, seed).unwrap(),
+        ),
+        ("caterpillar", generators::caterpillar(n, a).unwrap()),
+        ("binary_tree", generators::binary_tree(n).unwrap()),
+        ("torus", generators::torus(a.max(3), n.max(3)).unwrap()),
+        ("barbell", generators::barbell(n.max(3), a).unwrap()),
+    ];
+    if let Ok(h) = generators::hypercube(1 + (aux % 4) as u32) {
+        out.push(("hypercube", h));
+    }
+    out
+}
+
+/// Port-label sanity, re-derived from the adjacency: ports at `v` are a
+/// bijection onto `1..=δ(v)` and every edge's two ports point back at
+/// each other.
+fn assert_valid_port_labeling(name: &str, g: &PortLabeledGraph) {
+    g.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+    for v in g.nodes() {
+        let d = g.degree(v);
+        let mut seen = vec![false; d];
+        for (p, u, entry) in g.neighbors(v) {
+            let label = p.get() as usize;
+            assert!(
+                (1..=d).contains(&label),
+                "{name}: port {p} out of range at {v} (degree {d})"
+            );
+            assert!(!seen[label - 1], "{name}: duplicate port {p} at {v}");
+            seen[label - 1] = true;
+            assert_eq!(
+                g.neighbor_via(u, entry),
+                Some((v, p)),
+                "{name}: ports of edge {v}-{u} are not reciprocal"
+            );
+        }
+        assert!(seen.iter().all(|&s| s), "{name}: ports at {v} not 1..={d}");
+    }
+}
+
+/// Unordered adjacency pairs (u < v), the port-free view of the graph.
+fn adjacency_pairs(g: &PortLabeledGraph) -> Vec<(NodeId, NodeId)> {
+    let mut pairs: Vec<(NodeId, NodeId)> = g.edges().map(|e| (e.u, e.v)).collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// A possibly-disconnected graph: `n` nodes, edges picked by the seed.
+fn arbitrary_sparse_graph(n: usize, edge_bits: u64) -> PortLabeledGraph {
+    let mut b = GraphBuilder::new(n);
+    let mut bits = edge_bits;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if bits & 1 == 1 {
+                b.add_edge(NodeId::new(u as u32), NodeId::new(v as u32))
+                    .expect("fresh edge");
+            }
+            bits = bits.rotate_right(1) ^ (u as u64).wrapping_mul(0x9e37_79b9);
+        }
+    }
+    b.build().expect("builder accepts any simple edge set")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generators_emit_valid_port_labelings(
+        n in 2usize..16,
+        aux in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        for (name, g) in generated_graphs(n, aux, seed) {
+            assert_valid_port_labeling(name, &g);
+            prop_assert!(
+                connectivity::is_connected(&g),
+                "{name} must generate connected graphs"
+            );
+        }
+    }
+
+    #[test]
+    fn relabeling_preserves_adjacency(
+        n in 3usize..14,
+        aux in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        for (name, g) in generated_graphs(n, aux, seed) {
+            let relabeled = relabel::random_relabel(&g, seed ^ 0xdead_beef);
+            assert_valid_port_labeling(name, &relabeled);
+            prop_assert_eq!(
+                adjacency_pairs(&g),
+                adjacency_pairs(&relabeled),
+                "{} relabeling changed the adjacency",
+                name
+            );
+            prop_assert_eq!(g.node_count(), relabeled.node_count());
+            prop_assert_eq!(g.edge_count(), relabeled.edge_count());
+        }
+    }
+
+    #[test]
+    fn union_find_agrees_with_bfs_reachability(
+        n in 1usize..18,
+        edge_bits in any::<u64>(),
+    ) {
+        let g = arbitrary_sparse_graph(n, edge_bits);
+        // Union-find over the edge set...
+        let mut ds = DisjointSets::new(n);
+        for e in g.edges() {
+            ds.union(e.u.index(), e.v.index());
+        }
+        // ...must agree with BFS from node 0 about reachability...
+        let dist = traversal::bfs_distances(&g, NodeId::new(0));
+        for (v, d) in dist.iter().enumerate() {
+            prop_assert_eq!(
+                ds.same_set(0, v),
+                d.is_some(),
+                "node {} reachability disagrees",
+                v
+            );
+        }
+        // ...and about global connectivity.
+        let bfs_connected = dist.iter().all(Option::is_some);
+        prop_assert_eq!(connectivity::is_connected(&g), bfs_connected);
+        prop_assert_eq!(ds.set_count() == 1, bfs_connected);
+        // Component partition matches BFS component-of-0 exactly.
+        let occupied = vec![true; n];
+        let components = connectivity::components_of(&g, &occupied);
+        let of_zero: Vec<NodeId> = (0..n)
+            .filter(|&v| dist[v].is_some())
+            .map(|v| NodeId::new(v as u32))
+            .collect();
+        let containing_zero = components
+            .iter()
+            .find(|c| c.contains(&NodeId::new(0)))
+            .expect("node 0 is in some component");
+        prop_assert_eq!(containing_zero, &of_zero);
+    }
+
+    #[test]
+    fn swap_ports_is_a_relabeling(
+        n in 3usize..12,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::random_connected(n, 0.4, seed).unwrap();
+        let v = NodeId::new((seed % n as u64) as u32);
+        let d = g.degree(v);
+        if d >= 2 {
+            let a = dispersion_graph::Port::new(1);
+            let b = dispersion_graph::Port::new(d as u32);
+            let swapped = relabel::swap_ports(&g, v, a, b);
+            assert_valid_port_labeling("swap_ports", &swapped);
+            prop_assert_eq!(adjacency_pairs(&g), adjacency_pairs(&swapped));
+        }
+    }
+}

@@ -10,8 +10,8 @@ use dispersion_engine::adversary::{
     MinProgressSampler, PathTrapAdversary, StarPairAdversary, StaticNetwork, TIntervalNetwork,
 };
 use dispersion_engine::{
-    Configuration, CrashPhase, DispersionAlgorithm, FaultPlan, MoveOracle,
-    SimOutcome, Simulator,
+    CheckPolicy, Configuration, CrashPhase, DispersionAlgorithm, FaultPlan, MoveOracle,
+    SimError, SimOutcome, Simulator,
 };
 use dispersion_graph::{generators, NodeId, PortLabeledGraph};
 
@@ -50,6 +50,9 @@ pub enum RunStatus {
     Panic,
     /// The simulator rejected the run (e.g. an invalid adversary graph).
     Error,
+    /// The conformance monitor flagged an invariant violation
+    /// (campaigns run with the `check` option only).
+    Violation,
 }
 
 impl RunStatus {
@@ -59,6 +62,7 @@ impl RunStatus {
             RunStatus::Ok => "ok",
             RunStatus::Panic => "panic",
             RunStatus::Error => "error",
+            RunStatus::Violation => "violation",
         }
     }
 
@@ -68,6 +72,7 @@ impl RunStatus {
             "ok" => Some(RunStatus::Ok),
             "panic" => Some(RunStatus::Panic),
             "error" => Some(RunStatus::Error),
+            "violation" => Some(RunStatus::Violation),
             _ => None,
         }
     }
@@ -238,11 +243,24 @@ fn initial_config(job: &RunJob, spec: &CampaignSpec) -> Configuration {
     }
 }
 
+/// The monitor policy a checked campaign run arms: the theorem-bound
+/// invariants (round bound, move monotonicity, memory bound) only hold
+/// for Algorithm 4, so baselines get the structural suite — model
+/// invariants true for *any* algorithm.
+fn check_policy(algorithm: AlgorithmKind, check: bool) -> CheckPolicy {
+    match (check, algorithm) {
+        (false, _) => CheckPolicy::Off,
+        (true, AlgorithmKind::Alg4) => CheckPolicy::Full,
+        (true, _) => CheckPolicy::Structural,
+    }
+}
+
 fn run_with<A: DispersionAlgorithm>(
     alg: A,
     job: &RunJob,
     spec: &CampaignSpec,
-) -> Result<SimOutcome, dispersion_engine::SimError> {
+    check: bool,
+) -> Result<SimOutcome, SimError> {
     let plan = if job.faults > 0 {
         FaultPlan::random(
             job.k,
@@ -262,6 +280,8 @@ fn run_with<A: DispersionAlgorithm>(
     )
     .max_rounds(spec.max_rounds)
     .faults(plan)
+    .check(check_policy(job.algorithm, check))
+    .check_seed(job.derived_seed)
     .build()?
     .run()
 }
@@ -286,8 +306,11 @@ fn render_trace(outcome: &SimOutcome) -> String {
 
 /// Executes one job to a record. Never panics itself; the *body* of the
 /// run may panic (adversary bug, algorithm bug) and is caught by the
-/// runner, not here — this function's own result is infallible.
-pub fn execute(job: &RunJob, spec: &CampaignSpec, keep_traces: bool) -> RunRecord {
+/// runner, not here — this function's own result is infallible. With
+/// `check`, the run is monitored by the conformance suite and invariant
+/// breaches become [`RunStatus::Violation`] records carrying the rendered
+/// violation (round, ids, replay seed) as the message.
+pub fn execute(job: &RunJob, spec: &CampaignSpec, keep_traces: bool, check: bool) -> RunRecord {
     let base = RunRecord {
         job_id: job.job_id,
         spec_hash: spec.spec_hash(),
@@ -310,11 +333,11 @@ pub fn execute(job: &RunJob, spec: &CampaignSpec, keep_traces: bool) -> RunRecor
     };
     let start = Instant::now();
     let result = match job.algorithm {
-        AlgorithmKind::Alg4 => run_with(DispersionDynamic::new(), job, spec),
-        AlgorithmKind::LocalDfs => run_with(LocalDfs::new(), job, spec),
-        AlgorithmKind::RandomWalk => run_with(RandomWalk::new(job.derived_seed), job, spec),
-        AlgorithmKind::GreedyLocal => run_with(GreedyLocal::new(), job, spec),
-        AlgorithmKind::BlindGlobal => run_with(BlindGlobal::new(), job, spec),
+        AlgorithmKind::Alg4 => run_with(DispersionDynamic::new(), job, spec, check),
+        AlgorithmKind::LocalDfs => run_with(LocalDfs::new(), job, spec, check),
+        AlgorithmKind::RandomWalk => run_with(RandomWalk::new(job.derived_seed), job, spec, check),
+        AlgorithmKind::GreedyLocal => run_with(GreedyLocal::new(), job, spec, check),
+        AlgorithmKind::BlindGlobal => run_with(BlindGlobal::new(), job, spec, check),
     };
     let wall_time_us = start.elapsed().as_micros() as u64;
     match result {
@@ -329,7 +352,10 @@ pub fn execute(job: &RunJob, spec: &CampaignSpec, keep_traces: bool) -> RunRecor
             ..base
         },
         Err(e) => RunRecord {
-            status: RunStatus::Error,
+            status: match &e {
+                SimError::InvariantViolation(_) => RunStatus::Violation,
+                _ => RunStatus::Error,
+            },
             message: Some(e.to_string()),
             wall_time_us,
             ..base
@@ -383,7 +409,7 @@ mod tests {
     fn alg4_job_disperses_within_k() {
         let spec = CampaignSpec::default();
         let job = one_job(AlgorithmKind::Alg4, AdversaryKind::StarPair, 12, 8);
-        let rec = execute(&job, &spec, false);
+        let rec = execute(&job, &spec, false, false);
         assert_eq!(rec.status, RunStatus::Ok);
         assert!(rec.dispersed);
         assert!(rec.rounds <= 8);
@@ -392,10 +418,34 @@ mod tests {
     }
 
     #[test]
+    fn checked_jobs_pass_the_monitor() {
+        // Correct implementations run clean under checking: Algorithm 4
+        // under the full suite, a baseline under the structural one.
+        let spec = CampaignSpec::default();
+        for (algorithm, adversary) in [
+            (AlgorithmKind::Alg4, AdversaryKind::Churn),
+            (AlgorithmKind::RandomWalk, AdversaryKind::StarPair),
+        ] {
+            let job = one_job(algorithm, adversary, 12, 8);
+            let rec = execute(&job, &spec, false, true);
+            assert_eq!(rec.status, RunStatus::Ok, "{:?}: {:?}", algorithm, rec.message);
+        }
+        assert_eq!(check_policy(AlgorithmKind::Alg4, true), CheckPolicy::Full);
+        assert_eq!(check_policy(AlgorithmKind::RandomWalk, true), CheckPolicy::Structural);
+        assert_eq!(check_policy(AlgorithmKind::Alg4, false), CheckPolicy::Off);
+    }
+
+    #[test]
+    fn violation_status_round_trips() {
+        assert_eq!(RunStatus::parse("violation"), Some(RunStatus::Violation));
+        assert_eq!(RunStatus::Violation.name(), "violation");
+    }
+
+    #[test]
     fn records_round_trip_through_jsonl() {
         let spec = CampaignSpec::default();
         let job = one_job(AlgorithmKind::Alg4, AdversaryKind::Churn, 12, 8);
-        let rec = execute(&job, &spec, false);
+        let rec = execute(&job, &spec, false, false);
         let parsed = RunRecord::parse_line(&rec.to_json_line()).expect("parses");
         assert_eq!(parsed, rec);
     }
@@ -404,7 +454,7 @@ mod tests {
     fn keep_traces_embeds_rounds() {
         let spec = CampaignSpec::default();
         let job = one_job(AlgorithmKind::Alg4, AdversaryKind::StarPair, 10, 6);
-        let rec = execute(&job, &spec, true);
+        let rec = execute(&job, &spec, true, false);
         let trace = rec.trace_json.as_deref().expect("trace kept");
         assert!(trace.starts_with("[{\"round\":0"), "{trace}");
         // The trace does not break field extraction on the same line.
@@ -419,7 +469,7 @@ mod tests {
         let spec = CampaignSpec::default();
         let mut job = one_job(AlgorithmKind::Alg4, AdversaryKind::Churn, 4, 6);
         job.n = 4;
-        let rec = execute(&job, &spec, false);
+        let rec = execute(&job, &spec, false, false);
         assert_eq!(rec.status, RunStatus::Error);
         assert!(rec.message.as_deref().unwrap_or("").contains("robots"));
     }
@@ -428,7 +478,7 @@ mod tests {
     fn canonical_line_zeroes_wall_time_only() {
         let spec = CampaignSpec::default();
         let job = one_job(AlgorithmKind::Alg4, AdversaryKind::StarPair, 10, 6);
-        let a = execute(&job, &spec, false);
+        let a = execute(&job, &spec, false, false);
         let canon = a.canonical_line();
         assert!(canon.contains("\"wall_time_us\":0"));
         let reparsed = RunRecord::parse_line(&canon).unwrap();

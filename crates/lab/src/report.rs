@@ -46,6 +46,8 @@ pub struct CellStats {
     pub panics: usize,
     /// Runs the simulator rejected.
     pub errors: usize,
+    /// Runs the conformance monitor flagged.
+    pub violations: usize,
 }
 
 impl CellStats {
@@ -61,6 +63,7 @@ impl CellStats {
             }),
             RunStatus::Panic => self.panics += 1,
             RunStatus::Error => self.errors += 1,
+            RunStatus::Violation => self.violations += 1,
         }
     }
 
@@ -100,6 +103,11 @@ impl CampaignReport {
         self.cells.values().map(|c| c.panics).sum()
     }
 
+    /// Total invariant violations across cells.
+    pub fn total_violations(&self) -> usize {
+        self.cells.values().map(|c| c.violations).sum()
+    }
+
     /// Renders the aligned per-cell report table.
     pub fn render(&self) -> String {
         let mut table = Table::new([
@@ -116,7 +124,7 @@ impl CampaignReport {
             "bad",
         ]);
         for (key, cell) in &self.cells {
-            let bad = cell.panics + cell.errors;
+            let bad = cell.panics + cell.errors + cell.violations;
             match cell.run_summary() {
                 Some(s) => table.row([
                     key.algorithm.clone(),

@@ -33,6 +33,10 @@ pub struct RunnerOptions {
     pub out_dir: PathBuf,
     /// Suppress the per-job progress lines on stderr.
     pub quiet: bool,
+    /// Run every job under the conformance monitor (the full suite for
+    /// Algorithm 4, the structural suite for baselines); breaches land
+    /// in the artifact as `violation` records.
+    pub check: bool,
 }
 
 impl Default for RunnerOptions {
@@ -43,6 +47,7 @@ impl Default for RunnerOptions {
             fresh: false,
             out_dir: PathBuf::from("results"),
             quiet: true,
+            check: false,
         }
     }
 }
@@ -170,7 +175,7 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunnerOptions) -> Result<Campaig
                 let next = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = pending.get(next) else { break };
                 let rec = panic::catch_unwind(AssertUnwindSafe(|| {
-                    job::execute(job, spec, opts.keep_traces)
+                    job::execute(job, spec, opts.keep_traces, opts.check)
                 }))
                 .unwrap_or_else(|payload| {
                     let msg = payload

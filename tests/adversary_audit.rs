@@ -2,39 +2,16 @@
 //! valid ports, per-round connectivity) plus each adversary's specific
 //! structural promises, verified over recorded graph sequences.
 
-use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::{
-    DynamicNetwork, DynamicRingNetwork, EdgeChurnNetwork, MinProgressSampler,
-    PeriodicNetwork, StarPairAdversary, StaticNetwork, TIntervalNetwork,
+    DynamicRingNetwork, EdgeChurnNetwork, MinProgressSampler, PeriodicNetwork,
+    StarPairAdversary, StaticNetwork, TIntervalNetwork,
 };
-use dispersion_engine::{Configuration, ModelSpec, SimOutcome, Simulator, TracePolicy};
-use dispersion_graph::dynamics::GraphSequence;
-use dispersion_graph::{connectivity, generators, metrics, NodeId};
+use dispersion_engine::{ModelSpec, TracePolicy};
+use dispersion_graph::{generators, metrics};
 
-fn record_run<N: DynamicNetwork>(net: N, n: usize, k: usize) -> (SimOutcome, GraphSequence) {
-    let mut sim = Simulator::builder(
-        DispersionDynamic::new(),
-        net,
-        ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
-        Configuration::rooted(n, k, NodeId::new(0)),
-    )
-    .trace(TracePolicy::RoundsAndGraphs)
-    .build()
-    .expect("k ≤ n");
-    let out = sim.run().expect("valid run");
-    let graphs = out.trace.graphs.clone().expect("recording enabled");
-    (out, graphs)
-}
+mod common;
 
-/// The model contract every network must satisfy (the simulator checks it
-/// too; this re-checks from the recorded sequence).
-fn audit_model_contract(graphs: &GraphSequence, n: usize) {
-    for g in graphs.iter() {
-        assert_eq!(g.node_count(), n);
-        g.validate().expect("ports valid");
-        assert!(connectivity::is_connected(g), "1-interval connectivity");
-    }
-}
+use common::{audit_model_contract, record_run, run_trapped};
 
 #[test]
 fn audit_static() {
@@ -133,20 +110,17 @@ fn audit_trap_adversaries_respect_the_model() {
     // The traps run against their victims (they are pointless against
     // Algorithm 4's model), so audit them in their own settings.
     use dispersion_core::baselines::{BlindGlobal, GreedyLocal};
-    use dispersion_core::impossibility::near_dispersed_config;
     use dispersion_engine::adversary::{CliqueTrapAdversary, PathTrapAdversary};
 
-    let mut sim = Simulator::builder(
+    let (out, _sim) = run_trapped(
         GreedyLocal::new(),
         PathTrapAdversary::new(11),
         ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
-        near_dispersed_config(11, 6),
-    )
-    .max_rounds(40)
-    .trace(TracePolicy::RoundsAndGraphs)
-    .build()
-    .unwrap();
-    let out = sim.run().unwrap();
+        11,
+        6,
+        40,
+        TracePolicy::RoundsAndGraphs,
+    );
     assert!(!out.dispersed);
     let graphs = out.trace.graphs.expect("recorded");
     audit_model_contract(&graphs, 11);
@@ -156,17 +130,15 @@ fn audit_trap_adversaries_respect_the_model() {
         assert_eq!(g.max_degree(), 2);
     }
 
-    let mut sim = Simulator::builder(
+    let (out, _sim) = run_trapped(
         BlindGlobal::new(),
         CliqueTrapAdversary::new(11),
         ModelSpec::GLOBAL_BLIND,
-        near_dispersed_config(11, 6),
-    )
-    .max_rounds(40)
-    .trace(TracePolicy::RoundsAndGraphs)
-    .build()
-    .unwrap();
-    let out = sim.run().unwrap();
+        11,
+        6,
+        40,
+        TracePolicy::RoundsAndGraphs,
+    );
     assert!(!out.dispersed);
     let graphs = out.trace.graphs.expect("recorded");
     audit_model_contract(&graphs, 11);

@@ -1,0 +1,73 @@
+//! Helpers shared by the integration-test suite (each `[[test]]` target
+//! compiles its own copy, so unused items are expected per target).
+#![allow(dead_code)]
+
+use dispersion_core::impossibility::near_dispersed_config;
+use dispersion_core::DispersionDynamic;
+use dispersion_engine::adversary::DynamicNetwork;
+use dispersion_engine::{
+    Configuration, DispersionAlgorithm, MemoryFootprint, ModelSpec, SimOutcome, Simulator,
+    TracePolicy,
+};
+use dispersion_graph::dynamics::GraphSequence;
+use dispersion_graph::{connectivity, NodeId};
+
+/// One-bit persistent memory for the hand-rolled victim/test algorithms.
+#[derive(Clone)]
+pub struct UnitMemory;
+
+impl MemoryFootprint for UnitMemory {
+    fn persistent_bits(&self) -> usize {
+        1
+    }
+}
+
+/// Runs Algorithm 4 rooted at node 0 against `net`, recording the full
+/// graph sequence for auditing.
+pub fn record_run<N: DynamicNetwork>(net: N, n: usize, k: usize) -> (SimOutcome, GraphSequence) {
+    let mut sim = Simulator::builder(
+        DispersionDynamic::new(),
+        net,
+        ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+        Configuration::rooted(n, k, NodeId::new(0)),
+    )
+    .trace(TracePolicy::RoundsAndGraphs)
+    .build()
+    .expect("k ≤ n");
+    let out = sim.run().expect("valid run");
+    let graphs = out.trace.graphs.clone().expect("recording enabled");
+    (out, graphs)
+}
+
+/// The model contract every network must satisfy (the simulator checks it
+/// too; this re-checks from the recorded sequence).
+pub fn audit_model_contract(graphs: &GraphSequence, n: usize) {
+    for g in graphs.iter() {
+        assert_eq!(g.node_count(), n);
+        g.validate().expect("ports valid");
+        assert!(connectivity::is_connected(g), "1-interval connectivity");
+    }
+}
+
+/// The shared trap setup: a victim algorithm in its intended model,
+/// started near-dispersed (one multiplicity pair away from done) against
+/// a trap adversary, capped at `max_rounds`. Returns the outcome and the
+/// simulator so callers can interrogate the adversary (e.g.
+/// `trap_misses`) or the recorded graphs.
+pub fn run_trapped<A: DispersionAlgorithm, N: DynamicNetwork>(
+    algorithm: A,
+    network: N,
+    model: ModelSpec,
+    n: usize,
+    k: usize,
+    max_rounds: u64,
+    trace: TracePolicy,
+) -> (SimOutcome, Simulator<A, N>) {
+    let mut sim = Simulator::builder(algorithm, network, model, near_dispersed_config(n, k))
+        .max_rounds(max_rounds)
+        .trace(trace)
+        .build()
+        .expect("k ≤ n");
+    let outcome = sim.run().expect("valid run");
+    (outcome, sim)
+}

@@ -1,13 +1,22 @@
 //! Property-based tests (proptest) over the core data structures and the
-//! main algorithm's invariants.
+//! main algorithm's invariants, plus the conformance fuzz driver: every
+//! generated (generator × adversary × k × seed) configuration must run
+//! clean through the full invariant suite, and a failure is shrunk to a
+//! minimal failing spec persisted for CI artifact upload.
+
+use std::path::PathBuf;
 
 use dispersion_core::{component::ConnectedComponent, DisjointPathSet, SpanningTree};
 use dispersion_core::DispersionDynamic;
-use dispersion_engine::adversary::EdgeChurnNetwork;
-use dispersion_engine::{
-    build_packets, Configuration, ModelSpec, Simulator,
+use dispersion_engine::adversary::{
+    DynamicNetwork, DynamicRingNetwork, EdgeChurnNetwork, MinProgressSampler, StarPairAdversary,
+    StaticNetwork, TIntervalNetwork,
 };
-use dispersion_graph::{connectivity, generators, relabel, GraphBuilder, NodeId};
+use dispersion_engine::{
+    build_packets, CheckPolicy, Configuration, ModelSpec, SimError, SimOutcome, Simulator, Step,
+    TracePolicy,
+};
+use dispersion_graph::{connectivity, generators, relabel, GraphBuilder, NodeId, PortLabeledGraph};
 use proptest::prelude::*;
 
 /// Strategy: a connected random graph described by (n, extra-edge prob
@@ -233,5 +242,311 @@ proptest! {
         for rec in &out.trace.records {
             prop_assert_eq!(rec.newly_occupied, 1);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conformance fuzz driver
+// ---------------------------------------------------------------------------
+
+/// Static-topology families the fuzzer draws from. Index 0 is the
+/// simplest (shrinking target).
+const GENERATOR_NAMES: [&str; 5] = ["path", "cycle", "star", "complete", "random_connected"];
+
+/// Adversary families the fuzzer draws from. Index 0 is the simplest
+/// (shrinking target).
+const ADVERSARY_NAMES: [&str; 6] =
+    ["static", "churn", "star-pair", "ring", "t-interval", "min-progress"];
+
+/// One fuzzed conformance configuration: a (generator × adversary × n ×
+/// k × seed) point. Running it means Algorithm 4 rooted at node 0 under
+/// `CheckPolicy::Full` with the seed armed for replay reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ConformanceSpec {
+    /// Index into [`GENERATOR_NAMES`].
+    generator: usize,
+    /// Index into [`ADVERSARY_NAMES`].
+    adversary: usize,
+    n: usize,
+    k: usize,
+    seed: u64,
+}
+
+impl std::fmt::Display for ConformanceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "generator={} adversary={} n={} k={} seed={}",
+            GENERATOR_NAMES[self.generator],
+            ADVERSARY_NAMES[self.adversary],
+            self.n,
+            self.k,
+            self.seed,
+        )
+    }
+}
+
+impl ConformanceSpec {
+    /// The static topology (used by the `static` adversary; the others
+    /// generate their own graphs but stay in the spec product so the
+    /// shrinker can trade them away independently).
+    fn graph(&self) -> PortLabeledGraph {
+        let (n, seed) = (self.n, self.seed);
+        match GENERATOR_NAMES[self.generator] {
+            "path" => generators::path(n).expect("n ≥ 1"),
+            "cycle" => generators::cycle(n.max(3)).expect("n ≥ 3"),
+            "star" => generators::star(n).expect("n ≥ 2"),
+            "complete" => generators::complete(n).expect("n ≥ 1"),
+            _ => generators::random_connected(n, 0.25, seed).expect("n ≥ 1"),
+        }
+    }
+
+    fn network(&self) -> Box<dyn DynamicNetwork> {
+        let (n, seed) = (self.n, self.seed);
+        match ADVERSARY_NAMES[self.adversary] {
+            "static" => Box::new(StaticNetwork::new(self.graph())),
+            "churn" => Box::new(EdgeChurnNetwork::new(n, 0.2, seed)),
+            "star-pair" => Box::new(StarPairAdversary::new(n)),
+            "ring" => Box::new(DynamicRingNetwork::new(n.max(3), seed & 1 == 1, seed)),
+            "t-interval" => Box::new(TIntervalNetwork::new(n, 3, 0.2, seed)),
+            _ => Box::new(MinProgressSampler::new(n, 6, 0.2, seed)),
+        }
+    }
+
+    /// Runs the spec under the full invariant suite.
+    fn run(&self) -> Result<SimOutcome, SimError> {
+        Simulator::builder(
+            DispersionDynamic::new(),
+            self.network(),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(self.n, self.k, NodeId::new(0)),
+        )
+        .check(CheckPolicy::Full)
+        .check_seed(self.seed)
+        .build()?
+        .run()
+    }
+
+    /// `Some(description)` when the spec fails conformance: any simulator
+    /// error (invariant violations included) or a non-dispersed outcome.
+    fn failure(&self) -> Option<String> {
+        match self.run() {
+            Err(e) => Some(e.to_string()),
+            Ok(out) if !out.dispersed => Some(format!(
+                "run terminated undispersed after {} rounds",
+                out.rounds
+            )),
+            Ok(_) => None,
+        }
+    }
+
+    /// Candidate one-step reductions, simplest-first: drop the adversary
+    /// and generator to their first families, then shrink n, k, and the
+    /// seed. Each candidate is a *valid* spec (2 ≤ k ≤ n, n ≥ 4).
+    fn reductions(&self) -> Vec<ConformanceSpec> {
+        let mut out = Vec::new();
+        if self.adversary != 0 {
+            out.push(ConformanceSpec { adversary: 0, ..*self });
+        }
+        if self.generator != 0 {
+            out.push(ConformanceSpec { generator: 0, ..*self });
+        }
+        if self.n > 4 {
+            let halved = (self.n / 2).max(4);
+            out.push(ConformanceSpec { n: halved, k: self.k.min(halved), ..*self });
+            out.push(ConformanceSpec { n: self.n - 1, k: self.k.min(self.n - 1), ..*self });
+        }
+        if self.k > 2 {
+            out.push(ConformanceSpec { k: (self.k / 2).max(2), ..*self });
+            out.push(ConformanceSpec { k: self.k - 1, ..*self });
+        }
+        if self.seed != 0 {
+            out.push(ConformanceSpec { seed: 0, ..*self });
+            out.push(ConformanceSpec { seed: self.seed / 2, ..*self });
+        }
+        out
+    }
+}
+
+/// The shrinker must only ever propose valid specs (2 ≤ k ≤ n, n ≥ 4,
+/// in-range family indices), or a real failure would be masked by a
+/// builder error in a reduction.
+#[test]
+fn conformance_reductions_stay_valid() {
+    let mut frontier = vec![ConformanceSpec {
+        generator: GENERATOR_NAMES.len() - 1,
+        adversary: ADVERSARY_NAMES.len() - 1,
+        n: 17,
+        k: 9,
+        seed: 0x5eed_cafe,
+    }];
+    for _ in 0..6 {
+        frontier = frontier.iter().flat_map(ConformanceSpec::reductions).collect();
+        for s in &frontier {
+            assert!(s.generator < GENERATOR_NAMES.len() && s.adversary < ADVERSARY_NAMES.len());
+            assert!(s.n >= 4, "{s}");
+            assert!((2..=s.n).contains(&s.k), "{s}");
+        }
+    }
+    assert!(!frontier.is_empty(), "reduction space must not dead-end early");
+}
+
+/// Greedy shrink: repeatedly adopt the first one-step reduction that
+/// still fails, until no reduction fails. Returns the minimal spec and
+/// its failure description.
+fn shrink_failing_spec(mut spec: ConformanceSpec, mut detail: String) -> (ConformanceSpec, String) {
+    'outer: loop {
+        for candidate in spec.reductions() {
+            if let Some(d) = candidate.failure() {
+                spec = candidate;
+                detail = d;
+                continue 'outer;
+            }
+        }
+        return (spec, detail);
+    }
+}
+
+/// Persists the shrunken failing spec where CI uploads artifacts from
+/// (`target/conformance-failures/`). Best-effort: the panic message
+/// carries the same information.
+fn persist_failing_spec(test: &str, spec: &ConformanceSpec, detail: &str) -> PathBuf {
+    let dir = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/conformance-failures"
+    ));
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{test}.txt"));
+    let _ = std::fs::write(
+        &path,
+        format!("test: {test}\nminimal failing spec: {spec}\nfailure: {detail}\n"),
+    );
+    path
+}
+
+/// Checks a spec; on failure shrinks it to a minimal failing spec,
+/// persists it for CI, and panics with both.
+fn assert_conformance(test: &str, spec: ConformanceSpec) {
+    if let Some(detail) = spec.failure() {
+        let (minimal, minimal_detail) = shrink_failing_spec(spec, detail.clone());
+        let path = persist_failing_spec(test, &minimal, &minimal_detail);
+        panic!(
+            "conformance failure: {detail}\n  original spec: {spec}\n  minimal failing spec: \
+             {minimal} ({minimal_detail})\n  persisted at {}",
+            path.display()
+        );
+    }
+}
+
+/// Strategy over the full (generator × adversary × n × k × seed) space.
+fn conformance_spec() -> impl Strategy<Value = ConformanceSpec> {
+    (
+        0usize..GENERATOR_NAMES.len(),
+        0usize..ADVERSARY_NAMES.len(),
+        4usize..18,
+        any::<u64>(),
+    )
+        .prop_map(|(generator, adversary, n, seed)| ConformanceSpec {
+            generator,
+            adversary,
+            n,
+            k: 2 + (seed >> 32) as usize % (n - 1),
+            seed,
+        })
+}
+
+proptest! {
+    // ≥ 200 generated configurations through the full invariant suite
+    // (each case is one spec). CI re-pins the budget via PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases(224))]
+
+    #[test]
+    fn conformance_fuzz_runs_clean_under_full_checking(spec in conformance_spec()) {
+        assert_conformance("conformance_fuzz_runs_clean_under_full_checking", spec);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conformance_replay_confirms_adversary_determinism(spec in conformance_spec()) {
+        // First run records the adversary's per-round graph fingerprints…
+        let build = || Simulator::builder(
+            DispersionDynamic::new(),
+            spec.network(),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(spec.n, spec.k, NodeId::new(0)),
+        );
+        let mut first = build().check(CheckPolicy::Full).check_seed(spec.seed)
+            .build().unwrap();
+        first.run().unwrap();
+        let hashes = first.monitor().expect("checking on").graph_hashes().to_vec();
+        // …and the replay must regenerate exactly the same sequence.
+        let mut replay = build()
+            .check(CheckPolicy::Full)
+            .check_seed(spec.seed)
+            .check_expected_graphs(hashes)
+            .build()
+            .unwrap();
+        replay.run().unwrap_or_else(|e| {
+            panic!("same-seed replay diverged for {spec}: {e}")
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential oracle: memoized vs naive Algorithm 4
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(50))]
+
+    // Satellite differential test: `DispersionDynamic` with its
+    // cross-round compute cache must be observationally identical to the
+    // naive rebuild-everything variant — same per-round records, same
+    // per-round configurations, stepped in lockstep.
+    #[test]
+    fn memoization_is_observationally_transparent((n, p, seed) in graph_params()) {
+        let n = n.max(3);
+        let k = 2 + (seed as usize % (n - 1));
+        let build = |alg: DispersionDynamic| Simulator::builder(
+            alg,
+            EdgeChurnNetwork::new(n, p, seed),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(n, k, NodeId::new(0)),
+        )
+        .trace(TracePolicy::Rounds)
+        .build()
+        .unwrap();
+        prop_assert!(DispersionDynamic::unmemoized().is_unmemoized());
+        prop_assert!(!DispersionDynamic::new().is_unmemoized());
+        let mut memoized = build(DispersionDynamic::new());
+        let mut naive = build(DispersionDynamic::unmemoized());
+
+        for round in 0..=(k as u64 + 1) {
+            let a = match memoized.step().unwrap() {
+                Step::Dispersed => None,
+                Step::Advanced(out) => Some(out.record.clone()),
+            };
+            let b = match naive.step().unwrap() {
+                Step::Dispersed => None,
+                Step::Advanced(out) => Some(out.record.clone()),
+            };
+            prop_assert_eq!(&a, &b, "round {} records diverge", round);
+            prop_assert_eq!(
+                memoized.configuration(),
+                naive.configuration(),
+                "round {} configurations diverge",
+                round
+            );
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert!(
+            memoized.configuration().is_dispersed(),
+            "lockstep run must disperse within k+1 steps"
+        );
     }
 }

@@ -8,10 +8,14 @@
 use dispersion_core::impossibility::near_dispersed_config;
 use dispersion_engine::adversary::{CliqueTrapAdversary, PathTrapAdversary, StaticNetwork};
 use dispersion_engine::{
-    Action, Configuration, DispersionAlgorithm, MemoryFootprint, ModelSpec, RobotId,
-    RobotView, Simulator,
+    Action, Configuration, DispersionAlgorithm, ModelSpec, RobotId, RobotView, Simulator,
+    TracePolicy,
 };
 use dispersion_graph::{generators, NodeId, Port};
+
+mod common;
+
+use common::{run_trapped, UnitMemory};
 
 /// A family of deterministic blind-global victims, parameterized by how
 /// an unsettled robot picks its exit port.
@@ -32,14 +36,6 @@ enum BlindRule {
 #[derive(Clone)]
 struct BlindVictim {
     rule: BlindRule,
-}
-
-#[derive(Clone)]
-struct UnitMemory;
-impl MemoryFootprint for UnitMemory {
-    fn persistent_bits(&self) -> usize {
-        1
-    }
 }
 
 impl DispersionAlgorithm for BlindVictim {
@@ -157,16 +153,15 @@ fn clique_trap_holds_every_blind_victim() {
     ] {
         for k in [3usize, 5, 8] {
             let n = k + 5;
-            let mut sim = Simulator::builder(
+            let (out, sim) = run_trapped(
                 BlindVictim { rule },
                 CliqueTrapAdversary::new(n),
                 ModelSpec::GLOBAL_BLIND,
-                near_dispersed_config(n, k),
-            )
-            .max_rounds(ROUNDS)
-            .build()
-            .unwrap();
-            let out = sim.run().unwrap();
+                n,
+                k,
+                ROUNDS,
+                TracePolicy::Rounds,
+            );
             assert!(!out.dispersed, "{rule:?} k={k} escaped the clique trap");
             let new_nodes: usize = out.trace.records.iter().map(|r| r.newly_occupied).sum();
             assert_eq!(new_nodes, 0, "{rule:?} k={k}: Theorem 2 progress leak");
@@ -185,16 +180,15 @@ fn path_trap_holds_every_local_victim() {
     ] {
         for k in [5usize, 7] {
             let n = k + 4;
-            let mut sim = Simulator::builder(
+            let (out, sim) = run_trapped(
                 LocalVictim { rule },
                 PathTrapAdversary::new(n),
                 ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
-                near_dispersed_config(n, k),
-            )
-            .max_rounds(ROUNDS)
-            .build()
-            .unwrap();
-            let out = sim.run().unwrap();
+                n,
+                k,
+                ROUNDS,
+                TracePolicy::Rounds,
+            );
             assert!(!out.dispersed, "{rule:?} k={k} escaped the path trap");
             assert_eq!(sim.network().trap_misses(), 0, "{rule:?} k={k}");
         }

@@ -183,8 +183,19 @@ impl_tuple_strategy! {
     (A, B, C, D)
 }
 
-/// Runs `cases` generated cases of a test body. Used by [`proptest!`];
-/// not intended for direct calls.
+/// The per-test case count: the `PROPTEST_CASES` environment variable
+/// when set and parseable (CI pins the conformance budget with it),
+/// otherwise the config's own count.
+pub fn resolved_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.trim().parse().unwrap_or(config.cases),
+        Err(_) => config.cases,
+    }
+}
+
+/// Runs `cases` generated cases of a test body (honoring the
+/// `PROPTEST_CASES` environment override, like real proptest). Used by
+/// [`proptest!`]; not intended for direct calls.
 pub fn run_cases<S: Strategy>(
     test_name: &str,
     config: &ProptestConfig,
@@ -192,7 +203,7 @@ pub fn run_cases<S: Strategy>(
     mut body: impl FnMut(S::Value),
 ) {
     let mut rng = TestRng::from_name(test_name);
-    for _ in 0..config.cases {
+    for _ in 0..resolved_cases(config) {
         body(strategy.generate(&mut rng));
     }
 }
