@@ -109,6 +109,18 @@ pub enum Command {
         out_dir: String,
         /// Run every job under the conformance monitor.
         check: bool,
+        /// Per-job watchdog in seconds (0 = disarmed): a run still
+        /// executing after this long lands a `timeout` record.
+        timeout_secs: u64,
+        /// Seed-preserving reruns after a panic/timeout before the job
+        /// is quarantined.
+        retries: u64,
+    },
+    /// `dispersion campaign-status …` — progress, retries, and
+    /// quarantined jobs read from a (possibly partial) artifact.
+    CampaignStatus {
+        /// Artifact to inspect.
+        artifact: String,
     },
     /// `dispersion check …` — run under the conformance monitor: either
     /// replay a campaign JSONL artifact, or check one directly-specified
@@ -329,6 +341,8 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
             let mut fresh = false;
             let mut out_dir = String::from("results");
             let mut check = false;
+            let mut timeout_secs = 0u64;
+            let mut retries = 0u64;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--name" => spec.name = take_value(flag, &mut iter)?.to_string(),
@@ -401,6 +415,17 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
                         jobs = parse_num(flag, take_value(flag, &mut iter)?, "a worker count")?
                     }
                     "--out" => out_dir = take_value(flag, &mut iter)?.to_string(),
+                    "--timeout" => {
+                        timeout_secs = parse_num(
+                            flag,
+                            take_value(flag, &mut iter)?,
+                            "a per-job watchdog in seconds (0 disarms)",
+                        )?
+                    }
+                    "--retries" => {
+                        retries =
+                            parse_num(flag, take_value(flag, &mut iter)?, "a retry count")?
+                    }
                     "--keep-traces" => keep_traces = true,
                     "--fresh" => fresh = true,
                     "--check" => check = true,
@@ -415,7 +440,20 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
                 fresh,
                 out_dir,
                 check,
+                timeout_secs,
+                retries,
             })
+        }
+        "campaign-status" => {
+            let mut artifact = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--artifact" => artifact = Some(take_value(flag, &mut iter)?.to_string()),
+                    other => return Err(ParseError::UnknownFlag(other.into())),
+                }
+            }
+            let artifact = artifact.ok_or(ParseError::MissingValue("--artifact".into()))?;
+            Ok(Command::CampaignStatus { artifact })
         }
         "check" => {
             let mut artifact = None;
@@ -582,7 +620,9 @@ USAGE:
                         [--ks 4,8,16] [--n-rule 3k/2] [--faults 0,1] [--seeds S]
                         [--campaign-seed S] [--placement rooted|scattered|near-dispersed]
                         [--max-rounds R] [--edge-prob P] [--jobs J] [--out DIR]
-                        [--fresh] [--keep-traces] [--check]
+                        [--timeout SECS] [--retries R] [--fresh] [--keep-traces]
+                        [--check]
+    dispersion campaign-status --artifact FILE
     dispersion check [--artifact FILE | [--network …] [--n N] [--k K] [--seed S]
                      [--faults F] [--structural]]
     dispersion bench [--out FILE] [--label L] [--baseline FILE] [--quick]
@@ -598,7 +638,13 @@ SUBCOMMANDS:
     campaign     run a (algorithm × network × k × faults × seed) grid in
                  parallel, streaming one JSONL record per run to
                  DIR/NAME.jsonl; reruns resume where the artifact stops;
-                 --check arms the conformance monitor on every job
+                 --check arms the conformance monitor on every job;
+                 --timeout cuts divergent runs off with `timeout` records,
+                 --retries reruns panicked/timed-out jobs (same seed,
+                 capped backoff) before quarantining them
+    campaign-status
+                 progress, per-status counts, retries, and quarantined
+                 jobs read from a (possibly partial) campaign artifact
     check        run under the runtime invariant oracle: replay a campaign
                  artifact's runs under checking, or conformance-check one
                  spec directly (full suite; --structural drops the
@@ -726,8 +772,9 @@ mod tests {
 
     #[test]
     fn parses_campaign_defaults() {
-        let Command::Campaign { spec, jobs, keep_traces, fresh, out_dir, check } =
-            parse(["campaign"]).unwrap()
+        let Command::Campaign {
+            spec, jobs, keep_traces, fresh, out_dir, check, timeout_secs, retries,
+        } = parse(["campaign"]).unwrap()
         else {
             panic!("expected campaign");
         };
@@ -735,11 +782,15 @@ mod tests {
         assert_eq!(jobs, 1);
         assert!(!keep_traces && !fresh && !check);
         assert_eq!(out_dir, "results");
+        assert_eq!(timeout_secs, 0, "watchdog disarmed by default");
+        assert_eq!(retries, 0, "no retries by default");
     }
 
     #[test]
     fn parses_campaign_full() {
-        let Command::Campaign { spec, jobs, keep_traces, fresh, out_dir, check } = parse([
+        let Command::Campaign {
+            spec, jobs, keep_traces, fresh, out_dir, check, timeout_secs, retries,
+        } = parse([
             "campaign",
             "--name",
             "nightly",
@@ -767,6 +818,10 @@ mod tests {
             "4",
             "--out",
             "artifacts",
+            "--timeout",
+            "30",
+            "--retries",
+            "2",
             "--fresh",
             "--keep-traces",
             "--check",
@@ -795,6 +850,28 @@ mod tests {
         assert_eq!(jobs, 4);
         assert!(keep_traces && fresh && check);
         assert_eq!(out_dir, "artifacts");
+        assert_eq!(timeout_secs, 30);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn parses_campaign_status() {
+        assert_eq!(
+            parse(["campaign-status", "--artifact", "results/nightly.jsonl"]).unwrap(),
+            Command::CampaignStatus { artifact: "results/nightly.jsonl".into() }
+        );
+        assert!(matches!(
+            parse(["campaign-status"]),
+            Err(ParseError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse(["campaign-status", "--frobnicate"]),
+            Err(ParseError::UnknownFlag(_))
+        ));
+        assert!(matches!(
+            parse(["campaign", "--retries", "many"]),
+            Err(ParseError::BadValue { .. })
+        ));
     }
 
     #[test]

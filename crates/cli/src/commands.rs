@@ -50,7 +50,10 @@ pub fn execute(cmd: Command) -> Result<String, DispersionError> {
             fresh,
             out_dir,
             check,
-        } => campaign(spec, jobs, keep_traces, fresh, out_dir, check),
+            timeout_secs,
+            retries,
+        } => campaign(spec, jobs, keep_traces, fresh, out_dir, check, timeout_secs, retries),
+        Command::CampaignStatus { artifact } => campaign_status(&artifact),
         Command::Check {
             artifact,
             network,
@@ -73,6 +76,7 @@ pub fn execute(cmd: Command) -> Result<String, DispersionError> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn campaign(
     spec: CampaignSpec,
     jobs: usize,
@@ -80,7 +84,13 @@ fn campaign(
     fresh: bool,
     out_dir: String,
     check: bool,
+    timeout_secs: u64,
+    retries: u64,
 ) -> Result<String, DispersionError> {
+    // Ad-hoc fault drills: failpoints armed from the environment
+    // (DISPERSION_FAILPOINTS); unset means disarmed and free.
+    let failpoints = dispersion_lab::FailpointRegistry::from_env()
+        .map_err(|msg| DispersionError::Other(msg.into()))?;
     let opts = RunnerOptions {
         jobs,
         keep_traces,
@@ -88,12 +98,16 @@ fn campaign(
         out_dir: out_dir.into(),
         quiet: false,
         check,
+        timeout: (timeout_secs > 0).then(|| std::time::Duration::from_secs(timeout_secs)),
+        retries,
+        failpoints,
+        ..RunnerOptions::default()
     };
     let artifact = artifact_path(&spec, &opts);
     let report = run_campaign(&spec, &opts)?;
     Ok(format!(
         "campaign `{}` (spec {:016x}): {} jobs ({} executed, {} resumed), {} panicked, \
-         {} invariant violations\n\
+         {} invariant violations, {} timed out, {} quarantined, {} retried attempts\n\
          artifact: {}\n\n{}\n",
         spec.name,
         spec.spec_hash(),
@@ -102,9 +116,20 @@ fn campaign(
         report.resumed,
         report.total_panics(),
         report.total_violations(),
+        report.total_timeouts(),
+        report.total_quarantined(),
+        report.total_retries(),
         artifact.display(),
         report.render(),
     ))
+}
+
+/// `dispersion campaign-status`: progress, retry counts, and quarantined
+/// jobs read purely from the artifact — works on a live campaign's file
+/// and on the debris of a crashed one.
+fn campaign_status(artifact: &str) -> Result<String, DispersionError> {
+    let status = dispersion_lab::read_status(std::path::Path::new(artifact))?;
+    Ok(format!("{}\n{}", artifact, status.render()))
 }
 
 /// `dispersion check`: conformance-check either every run recorded in a
@@ -221,7 +246,7 @@ fn check_artifact(path: &str) -> Result<String, DispersionError> {
             seed_index: rec.seed_index,
             derived_seed: rec.seed,
         };
-        let checked = job::execute(&job, &spec, false, true);
+        let checked = job::execute(&job, &spec, false, true, None);
         match checked.status {
             RunStatus::Ok => clean += 1,
             status => bad.push(format!(
@@ -696,6 +721,8 @@ mod tests {
             fresh: true,
             out_dir: out_dir.display().to_string(),
             check: false,
+            timeout_secs: 0,
+            retries: 0,
         })
         .unwrap();
         assert!(out.contains("2 executed, 0 resumed"), "{out}");
@@ -709,6 +736,8 @@ mod tests {
             fresh: false,
             out_dir: out_dir.display().to_string(),
             check: false,
+            timeout_secs: 0,
+            retries: 0,
         })
         .unwrap();
         assert!(again.contains("0 executed, 2 resumed"), "{again}");
@@ -760,6 +789,8 @@ mod tests {
             fresh: true,
             out_dir: out_dir.display().to_string(),
             check: true,
+            timeout_secs: 0,
+            retries: 0,
         })
         .unwrap();
         let artifact = out_dir.join("check-smoke.jsonl");

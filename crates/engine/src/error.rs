@@ -5,6 +5,7 @@ use std::fmt;
 
 use dispersion_graph::{GraphError, Port};
 
+use crate::budget::BudgetReason;
 use crate::invariants::InvariantViolation;
 use crate::RobotId;
 
@@ -44,6 +45,16 @@ pub enum SimError {
     /// implicated node/robot ids, and a replayable seed when one was
     /// registered.
     InvariantViolation(InvariantViolation),
+    /// A [`crate::Budget`] fence armed via
+    /// [`crate::SimulatorBuilder::budget`] was exceeded before the run
+    /// terminated — the structured form of "this run was never going to
+    /// end" that watchdogs and campaign runners act on.
+    BudgetExceeded {
+        /// The round that was about to execute when the fence fired.
+        round: u64,
+        /// Which fence fired.
+        reason: BudgetReason,
+    },
 }
 
 impl From<InvariantViolation> for SimError {
@@ -71,6 +82,9 @@ impl fmt::Display for SimError {
                 write!(f, "{k} robots cannot disperse on {n} nodes")
             }
             SimError::InvariantViolation(v) => write!(f, "{v}"),
+            SimError::BudgetExceeded { round, reason } => {
+                write!(f, "budget exceeded in round {round}: {reason}")
+            }
         }
     }
 }
@@ -120,6 +134,18 @@ mod tests {
         assert!(s.contains("round-bound"));
         assert!(s.contains("round 9"));
         assert!(s.contains("replay seed 7"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn budget_exceeded_displays_reason() {
+        let e = SimError::BudgetExceeded {
+            round: 500,
+            reason: BudgetReason::Deadline,
+        };
+        let s = e.to_string();
+        assert!(s.contains("round 500"), "{s}");
+        assert!(s.contains("deadline"), "{s}");
         assert!(e.source().is_none());
     }
 

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+mod budget;
 mod config;
 mod error;
 mod faults;
@@ -75,6 +76,7 @@ pub mod memory;
 pub mod stats;
 
 pub use algorithm::{Action, DispersionAlgorithm, MemoryFootprint};
+pub use budget::{Budget, BudgetReason};
 pub use config::Configuration;
 pub use error::SimError;
 pub use faults::{CrashEvent, CrashPhase, FaultPlan};

@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::adversary::DynamicNetwork;
+use crate::budget::Budget;
 use crate::invariants::{CheckPolicy, InvariantMonitor, RoundContext, TerminalContext};
 use crate::oracle::EngineOracle;
 use crate::packet::{build_own_packet_into, build_packets_into};
@@ -202,6 +203,7 @@ pub struct SimulatorBuilder<A: DispersionAlgorithm, N: DynamicNetwork> {
     initial: Configuration,
     options: SimOptions,
     faults: FaultPlan,
+    budget: Budget,
     scratch_capacity: usize,
     check: CheckPolicy,
     check_seed: Option<u64>,
@@ -220,6 +222,7 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> SimulatorBuilder<A, N> {
             initial,
             options: SimOptions::default(),
             faults: FaultPlan::none(),
+            budget: Budget::none(),
             scratch_capacity: 0,
             check: CheckPolicy::Off,
             check_seed: None,
@@ -261,6 +264,18 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> SimulatorBuilder<A, N> {
     /// Installs a crash-fault schedule (Section VII).
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Arms a cooperative [`Budget`] (round limit, wall-clock deadline,
+    /// external cancel flag), checked at the top of every
+    /// [`Simulator::step`]. An exceeded fence aborts the run with
+    /// [`SimError::BudgetExceeded`] — unlike
+    /// [`SimulatorBuilder::max_rounds`], which ends `run` gracefully.
+    /// The check is allocation-free, so arming a budget preserves the
+    /// zero-allocation hot path.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -348,6 +363,7 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> SimulatorBuilder<A, N> {
             model: self.model,
             options: self.options,
             faults: self.faults,
+            budget: self.budget,
             k,
             config: self.initial,
             memories,
@@ -385,6 +401,9 @@ pub struct Simulator<A: DispersionAlgorithm, N: DynamicNetwork> {
     model: ModelSpec,
     options: SimOptions,
     faults: FaultPlan,
+    /// Termination fences; the unarmed default costs three `Option`
+    /// discriminant tests per round.
+    budget: Budget,
     k: usize,
     config: Configuration,
     /// Per-robot state, indexed by [`RobotId::index`]; `None` = crashed.
@@ -474,6 +493,13 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
         if self.config.is_dispersed() {
             self.verify_terminal(true)?;
             return Ok(Step::Dispersed);
+        }
+
+        // Termination fence: a run that has not dispersed may not execute
+        // past its budget. Checked after the dispersed test so a run that
+        // finishes exactly on the fence still reports success.
+        if let Some(reason) = self.budget.exceeded(round) {
+            return Err(SimError::BudgetExceeded { round, reason });
         }
 
         // Adversary picks G_r. The graph is borrowed from the network for
@@ -1146,6 +1172,115 @@ mod tests {
             last = now;
         }
         assert!(sim.configuration().is_dispersed());
+    }
+
+    #[test]
+    fn round_budget_fence_is_an_error() {
+        /// Robots that never move cannot disperse a rooted configuration,
+        /// so the fence always fires.
+        struct Frozen;
+        impl DispersionAlgorithm for Frozen {
+            type Memory = Nil;
+            fn name(&self) -> &str {
+                "frozen"
+            }
+            fn init(&self, _me: RobotId, _k: usize) -> Nil {
+                Nil
+            }
+            fn step(&self, _v: &RobotView, _m: &Nil) -> (Action, Nil) {
+                (Action::Stay, Nil)
+            }
+        }
+        let g = generators::path(4).unwrap();
+        let mut sim = Simulator::builder(
+            Frozen,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(4, 2, NodeId::new(0)),
+        )
+        .budget(crate::Budget::none().with_max_rounds(7))
+        .build()
+        .unwrap();
+        let err = sim.run().unwrap_err();
+        assert_eq!(
+            err,
+            SimError::BudgetExceeded {
+                round: 7,
+                reason: crate::BudgetReason::MaxRounds { limit: 7 },
+            }
+        );
+        assert_eq!(sim.round(), 7, "exactly the budgeted rounds executed");
+    }
+
+    #[test]
+    fn budget_does_not_fail_a_dispersing_run() {
+        // GreedySpill disperses a 5-robot star in one round; a budget of
+        // exactly 1 must not fire.
+        let g = generators::star(6).unwrap();
+        let out = Simulator::builder(
+            GreedySpill,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(6, 5, NodeId::new(0)),
+        )
+        .budget(crate::Budget::none().with_max_rounds(1))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(out.dispersed);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn cancelled_budget_aborts_mid_run() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(false));
+        // A rooted path disperses over many rounds, so one step leaves the
+        // run mid-flight.
+        let g = generators::path(8).unwrap();
+        let mut sim = Simulator::builder(
+            GreedySpill,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(8, 6, NodeId::new(0)),
+        )
+        .budget(crate::Budget::none().with_cancel(Arc::clone(&flag)))
+        .build()
+        .unwrap();
+        assert!(matches!(sim.step(), Ok(Step::Advanced(_))));
+        flag.store(true, Ordering::Relaxed);
+        let err = sim.step().unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::BudgetExceeded {
+                round: 1,
+                reason: crate::BudgetReason::Cancelled,
+            }
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_fires_before_any_round() {
+        let g = generators::star(4).unwrap();
+        let mut sim = Simulator::builder(
+            GreedySpill,
+            StaticNetwork::new(g),
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Configuration::rooted(4, 3, NodeId::new(0)),
+        )
+        .budget(crate::Budget::none().with_timeout(std::time::Duration::ZERO))
+        .build()
+        .unwrap();
+        let err = sim.run().unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::BudgetExceeded {
+                round: 0,
+                reason: crate::BudgetReason::Deadline,
+            }
+        ));
     }
 
     #[test]

@@ -12,8 +12,8 @@ use std::cell::Cell;
 
 use dispersion_engine::adversary::StaticNetwork;
 use dispersion_engine::{
-    Action, CheckPolicy, Configuration, DispersionAlgorithm, MemoryFootprint, ModelSpec,
-    RobotId, RobotView, Simulator, Step, TracePolicy,
+    Action, Budget, CheckPolicy, Configuration, DispersionAlgorithm, MemoryFootprint,
+    ModelSpec, RobotId, RobotView, Simulator, Step, TracePolicy,
 };
 use dispersion_graph::{generators, NodeId, Port};
 
@@ -93,7 +93,12 @@ fn steady_state_step_allocates_nothing() {
     // of the conformance subsystem is part of this test's charter: with
     // checking off no monitor exists, so the hot path pays one `Option`
     // discriminant test per round and nothing else.
+    //
+    // Every budget fence is armed (far from firing): the watchdog the
+    // campaign runner arms on every job must not cost the hot path any
+    // allocations either.
     let (n, k) = (64usize, 16usize);
+    let cancel = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let mut sim = Simulator::builder(
         Walker,
         StaticNetwork::new(generators::cycle(n).expect("n ≥ 3")),
@@ -103,6 +108,12 @@ fn steady_state_step_allocates_nothing() {
     .max_rounds(1_000_000)
     .trace(TracePolicy::Off)
     .check(CheckPolicy::Off)
+    .budget(
+        Budget::none()
+            .with_max_rounds(1_000_000)
+            .with_timeout(std::time::Duration::from_secs(3600))
+            .with_cancel(cancel),
+    )
     .build()
     .expect("k ≤ n");
 

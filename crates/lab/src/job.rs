@@ -10,7 +10,7 @@ use dispersion_engine::adversary::{
     MinProgressSampler, PathTrapAdversary, StarPairAdversary, StaticNetwork, TIntervalNetwork,
 };
 use dispersion_engine::{
-    CheckPolicy, Configuration, CrashPhase, DispersionAlgorithm, FaultPlan, MoveOracle,
+    Budget, CheckPolicy, Configuration, CrashPhase, DispersionAlgorithm, FaultPlan, MoveOracle,
     SimError, SimOutcome, Simulator,
 };
 use dispersion_graph::{generators, NodeId, PortLabeledGraph};
@@ -41,7 +41,11 @@ pub struct RunJob {
     pub derived_seed: u64,
 }
 
-/// Terminal status of one job.
+/// Status of one job attempt.
+///
+/// `Ok`, `Error`, `Violation`, and `Quarantined` are always terminal.
+/// `Panic` and `Timeout` are terminal only once the retry budget is
+/// spent — see [`RunStatus::is_terminal`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunStatus {
     /// The simulator ran to termination (dispersed or round cap).
@@ -53,7 +57,22 @@ pub enum RunStatus {
     /// The conformance monitor flagged an invariant violation
     /// (campaigns run with the `check` option only).
     Violation,
+    /// The per-job watchdog budget expired before the run terminated.
+    Timeout,
+    /// Every retry failed; the job was retired so the campaign could
+    /// drain. The message records the last failure.
+    Quarantined,
 }
+
+/// All record statuses, for exhaustive round-trip tests.
+pub const ALL_STATUSES: [RunStatus; 6] = [
+    RunStatus::Ok,
+    RunStatus::Panic,
+    RunStatus::Error,
+    RunStatus::Violation,
+    RunStatus::Timeout,
+    RunStatus::Quarantined,
+];
 
 impl RunStatus {
     /// Stable record name.
@@ -63,6 +82,8 @@ impl RunStatus {
             RunStatus::Panic => "panic",
             RunStatus::Error => "error",
             RunStatus::Violation => "violation",
+            RunStatus::Timeout => "timeout",
+            RunStatus::Quarantined => "quarantined",
         }
     }
 
@@ -73,8 +94,23 @@ impl RunStatus {
             "panic" => Some(RunStatus::Panic),
             "error" => Some(RunStatus::Error),
             "violation" => Some(RunStatus::Violation),
+            "timeout" => Some(RunStatus::Timeout),
+            "quarantined" => Some(RunStatus::Quarantined),
             _ => None,
         }
+    }
+
+    /// Whether this status is retryable: a transient failure (`panic`,
+    /// `timeout`) that a seed-preserving rerun might clear. Everything
+    /// else is a final verdict about the parameters themselves.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, RunStatus::Panic | RunStatus::Timeout)
+    }
+
+    /// Whether a record with this status at `attempt` is terminal under
+    /// a retry budget of `retries` — i.e. its job never runs again.
+    pub fn is_terminal(self, attempt: u64, retries: u64) -> bool {
+        !self.is_retryable() || attempt >= retries
     }
 }
 
@@ -99,7 +135,10 @@ pub struct RunRecord {
     pub seed_index: u64,
     /// Derived RNG seed the job ran with.
     pub seed: u64,
-    /// Terminal status.
+    /// Which execution attempt produced this record (0 = first). Retried
+    /// jobs leave one record per attempt in the artifact.
+    pub attempt: u64,
+    /// Status of this attempt.
     pub status: RunStatus,
     /// Whether the live robots dispersed (false for panic/error).
     pub dispersed: bool,
@@ -134,6 +173,7 @@ impl RunRecord {
             .u64_field("faults", self.faults as u64)
             .u64_field("seed_index", self.seed_index)
             .u64_field("seed", self.seed)
+            .u64_field("attempt", self.attempt)
             .str_field("status", self.status.name())
             .bool_field("dispersed", self.dispersed)
             .u64_field("rounds", self.rounds)
@@ -173,6 +213,9 @@ impl RunRecord {
             faults: json::u64_value(line, "faults")? as usize,
             seed_index: json::u64_value(line, "seed_index")?,
             seed: json::u64_value(line, "seed")?,
+            // Absent in pre-retry artifacts, which only ever held one
+            // attempt per job.
+            attempt: json::u64_value(line, "attempt").unwrap_or(0),
             status: RunStatus::parse(&json::str_value(line, "status")?)?,
             dispersed: json::bool_value(line, "dispersed")?,
             rounds: json::u64_value(line, "rounds")?,
@@ -260,6 +303,7 @@ fn run_with<A: DispersionAlgorithm>(
     job: &RunJob,
     spec: &CampaignSpec,
     check: bool,
+    deadline: Option<Instant>,
 ) -> Result<SimOutcome, SimError> {
     let plan = if job.faults > 0 {
         FaultPlan::random(
@@ -282,6 +326,10 @@ fn run_with<A: DispersionAlgorithm>(
     .faults(plan)
     .check(check_policy(job.algorithm, check))
     .check_seed(job.derived_seed)
+    .budget(match deadline {
+        Some(d) => Budget::none().with_deadline(d),
+        None => Budget::none(),
+    })
     .build()?
     .run()
 }
@@ -304,14 +352,8 @@ fn render_trace(outcome: &SimOutcome) -> String {
     format!("[{}]", rounds.join(","))
 }
 
-/// Executes one job to a record. Never panics itself; the *body* of the
-/// run may panic (adversary bug, algorithm bug) and is caught by the
-/// runner, not here — this function's own result is infallible. With
-/// `check`, the run is monitored by the conformance suite and invariant
-/// breaches become [`RunStatus::Violation`] records carrying the rendered
-/// violation (round, ids, replay seed) as the message.
-pub fn execute(job: &RunJob, spec: &CampaignSpec, keep_traces: bool, check: bool) -> RunRecord {
-    let base = RunRecord {
+fn base_record(job: &RunJob, spec: &CampaignSpec) -> RunRecord {
+    RunRecord {
         job_id: job.job_id,
         spec_hash: spec.spec_hash(),
         algorithm: job.algorithm.name().into(),
@@ -321,6 +363,7 @@ pub fn execute(job: &RunJob, spec: &CampaignSpec, keep_traces: bool, check: bool
         faults: job.faults,
         seed_index: job.seed_index,
         seed: job.derived_seed,
+        attempt: 0,
         status: RunStatus::Ok,
         dispersed: false,
         rounds: 0,
@@ -330,14 +373,34 @@ pub fn execute(job: &RunJob, spec: &CampaignSpec, keep_traces: bool, check: bool
         wall_time_us: 0,
         message: None,
         trace_json: None,
-    };
+    }
+}
+
+/// Executes one job to a record. Never panics itself; the *body* of the
+/// run may panic (adversary bug, algorithm bug) and is caught by the
+/// runner, not here — this function's own result is infallible. With
+/// `check`, the run is monitored by the conformance suite and invariant
+/// breaches become [`RunStatus::Violation`] records carrying the rendered
+/// violation (round, ids, replay seed) as the message. With a `deadline`,
+/// the simulator runs under a wall-clock [`Budget`] and an expired run
+/// becomes a [`RunStatus::Timeout`] record instead of spinning forever.
+pub fn execute(
+    job: &RunJob,
+    spec: &CampaignSpec,
+    keep_traces: bool,
+    check: bool,
+    deadline: Option<Instant>,
+) -> RunRecord {
+    let base = base_record(job, spec);
     let start = Instant::now();
     let result = match job.algorithm {
-        AlgorithmKind::Alg4 => run_with(DispersionDynamic::new(), job, spec, check),
-        AlgorithmKind::LocalDfs => run_with(LocalDfs::new(), job, spec, check),
-        AlgorithmKind::RandomWalk => run_with(RandomWalk::new(job.derived_seed), job, spec, check),
-        AlgorithmKind::GreedyLocal => run_with(GreedyLocal::new(), job, spec, check),
-        AlgorithmKind::BlindGlobal => run_with(BlindGlobal::new(), job, spec, check),
+        AlgorithmKind::Alg4 => run_with(DispersionDynamic::new(), job, spec, check, deadline),
+        AlgorithmKind::LocalDfs => run_with(LocalDfs::new(), job, spec, check, deadline),
+        AlgorithmKind::RandomWalk => {
+            run_with(RandomWalk::new(job.derived_seed), job, spec, check, deadline)
+        }
+        AlgorithmKind::GreedyLocal => run_with(GreedyLocal::new(), job, spec, check, deadline),
+        AlgorithmKind::BlindGlobal => run_with(BlindGlobal::new(), job, spec, check, deadline),
     };
     let wall_time_us = start.elapsed().as_micros() as u64;
     match result {
@@ -354,7 +417,12 @@ pub fn execute(job: &RunJob, spec: &CampaignSpec, keep_traces: bool, check: bool
         Err(e) => RunRecord {
             status: match &e {
                 SimError::InvariantViolation(_) => RunStatus::Violation,
+                SimError::BudgetExceeded { .. } => RunStatus::Timeout,
                 _ => RunStatus::Error,
+            },
+            rounds: match &e {
+                SimError::BudgetExceeded { round, .. } => *round,
+                _ => 0,
             },
             message: Some(e.to_string()),
             wall_time_us,
@@ -366,24 +434,26 @@ pub fn execute(job: &RunJob, spec: &CampaignSpec, keep_traces: bool, check: bool
 /// Builds the record for a job whose execution panicked.
 pub fn panic_record(job: &RunJob, spec: &CampaignSpec, message: String) -> RunRecord {
     RunRecord {
-        job_id: job.job_id,
-        spec_hash: spec.spec_hash(),
-        algorithm: job.algorithm.name().into(),
-        adversary: job.adversary.name().into(),
-        n: job.n,
-        k: job.k,
-        faults: job.faults,
-        seed_index: job.seed_index,
-        seed: job.derived_seed,
         status: RunStatus::Panic,
-        dispersed: false,
-        rounds: 0,
-        moves: 0,
-        max_memory_bits: 0,
-        crashes: 0,
-        wall_time_us: 0,
         message: Some(message),
+        ..base_record(job, spec)
+    }
+}
+
+/// Retires a job whose final retry still failed: the terminal
+/// [`RunStatus::Quarantined`] record, preserving the last failure in the
+/// message so the artifact alone explains the retirement.
+pub fn quarantine_record(last: &RunRecord) -> RunRecord {
+    RunRecord {
+        status: RunStatus::Quarantined,
+        message: Some(format!(
+            "quarantined after {} attempts; last failure ({}): {}",
+            last.attempt + 1,
+            last.status.name(),
+            last.message.as_deref().unwrap_or("(no message)"),
+        )),
         trace_json: None,
+        ..last.clone()
     }
 }
 
@@ -409,7 +479,7 @@ mod tests {
     fn alg4_job_disperses_within_k() {
         let spec = CampaignSpec::default();
         let job = one_job(AlgorithmKind::Alg4, AdversaryKind::StarPair, 12, 8);
-        let rec = execute(&job, &spec, false, false);
+        let rec = execute(&job, &spec, false, false, None);
         assert_eq!(rec.status, RunStatus::Ok);
         assert!(rec.dispersed);
         assert!(rec.rounds <= 8);
@@ -427,7 +497,7 @@ mod tests {
             (AlgorithmKind::RandomWalk, AdversaryKind::StarPair),
         ] {
             let job = one_job(algorithm, adversary, 12, 8);
-            let rec = execute(&job, &spec, false, true);
+            let rec = execute(&job, &spec, false, true, None);
             assert_eq!(rec.status, RunStatus::Ok, "{:?}: {:?}", algorithm, rec.message);
         }
         assert_eq!(check_policy(AlgorithmKind::Alg4, true), CheckPolicy::Full);
@@ -442,10 +512,51 @@ mod tests {
     }
 
     #[test]
+    fn every_status_round_trips_and_classifies() {
+        for status in ALL_STATUSES {
+            assert_eq!(RunStatus::parse(status.name()), Some(status), "{status:?}");
+            assert!(
+                status.is_terminal(3, 3),
+                "{status:?}: a spent retry budget is always terminal"
+            );
+            assert_eq!(
+                status.is_terminal(0, 1),
+                !status.is_retryable(),
+                "{status:?}: only retryable failures survive an unspent budget"
+            );
+        }
+        assert_eq!(
+            ALL_STATUSES.iter().filter(|s| s.is_retryable()).count(),
+            2,
+            "exactly panic and timeout are retryable"
+        );
+        assert_eq!(RunStatus::parse("exploded"), None);
+    }
+
+    #[test]
+    fn attempt_field_round_trips_and_defaults_for_old_artifacts() {
+        let spec = CampaignSpec::default();
+        let job = one_job(AlgorithmKind::Alg4, AdversaryKind::StarPair, 10, 6);
+        let mut rec = execute(&job, &spec, false, false, None);
+        rec.attempt = 3;
+        let line = rec.to_json_line();
+        assert_eq!(RunRecord::parse_line(&line).expect("parses"), rec);
+
+        // Artifacts written before the retry layer never emitted the
+        // field; they must still parse, as attempt 0.
+        rec.attempt = 0;
+        let old = rec.to_json_line().replace(",\"attempt\":0", "");
+        assert_ne!(old, rec.to_json_line(), "the field was actually stripped");
+        let parsed = RunRecord::parse_line(&old).expect("old artifact line parses");
+        assert_eq!(parsed.attempt, 0);
+        assert_eq!(parsed, rec);
+    }
+
+    #[test]
     fn records_round_trip_through_jsonl() {
         let spec = CampaignSpec::default();
         let job = one_job(AlgorithmKind::Alg4, AdversaryKind::Churn, 12, 8);
-        let rec = execute(&job, &spec, false, false);
+        let rec = execute(&job, &spec, false, false, None);
         let parsed = RunRecord::parse_line(&rec.to_json_line()).expect("parses");
         assert_eq!(parsed, rec);
     }
@@ -454,7 +565,7 @@ mod tests {
     fn keep_traces_embeds_rounds() {
         let spec = CampaignSpec::default();
         let job = one_job(AlgorithmKind::Alg4, AdversaryKind::StarPair, 10, 6);
-        let rec = execute(&job, &spec, true, false);
+        let rec = execute(&job, &spec, true, false, None);
         let trace = rec.trace_json.as_deref().expect("trace kept");
         assert!(trace.starts_with("[{\"round\":0"), "{trace}");
         // The trace does not break field extraction on the same line.
@@ -469,7 +580,7 @@ mod tests {
         let spec = CampaignSpec::default();
         let mut job = one_job(AlgorithmKind::Alg4, AdversaryKind::Churn, 4, 6);
         job.n = 4;
-        let rec = execute(&job, &spec, false, false);
+        let rec = execute(&job, &spec, false, false, None);
         assert_eq!(rec.status, RunStatus::Error);
         assert!(rec.message.as_deref().unwrap_or("").contains("robots"));
     }
@@ -478,7 +589,7 @@ mod tests {
     fn canonical_line_zeroes_wall_time_only() {
         let spec = CampaignSpec::default();
         let job = one_job(AlgorithmKind::Alg4, AdversaryKind::StarPair, 10, 6);
-        let a = execute(&job, &spec, false, false);
+        let a = execute(&job, &spec, false, false, None);
         let canon = a.canonical_line();
         assert!(canon.contains("\"wall_time_us\":0"));
         let reparsed = RunRecord::parse_line(&canon).unwrap();

@@ -22,23 +22,37 @@
 //!   one writer thread; full execution traces are never retained unless
 //!   explicitly requested per record.
 //! * **Panic isolation** — each job runs under `catch_unwind`; a
-//!   panicking run becomes a `"status":"panic"` record and the campaign
-//!   continues.
+//!   panicking run becomes a `"status":"panic"` record (carrying the
+//!   panic's `file:line`) and the campaign continues.
+//! * **Fault tolerance** — a per-job watchdog budget turns divergent
+//!   runs into `"timeout"` records; panics and timeouts are retried
+//!   (seed-preserving, deterministic capped backoff) up to a budget and
+//!   then quarantined, so campaigns always drain. The report is a pure
+//!   function of the artifact, so a campaign killed at any byte and
+//!   resumed reports exactly what an uninterrupted run would — a
+//!   property fuzzed by the [`failpoint`] self-tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod failpoint;
 pub mod job;
 pub mod json;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod status;
 pub mod throughput;
 
+pub use failpoint::{FailAction, FailpointRegistry, FAILPOINTS_ENV};
 pub use job::{RunJob, RunRecord, RunStatus};
 pub use report::{CampaignReport, CellKey, CellStats, Table};
-pub use runner::{artifact_path, run_campaign, RunnerOptions};
+pub use runner::{
+    artifact_path, backoff_delay, run_campaign, scan_artifact, ArtifactScan, FsyncPolicy,
+    RunnerOptions,
+};
 pub use spec::{derive_seed, AdversaryKind, AlgorithmKind, CampaignSpec, NRule, Placement};
+pub use status::{read_status, ArtifactStatus};
 
 /// Everything that can go wrong running a campaign.
 #[derive(Debug)]
@@ -56,6 +70,14 @@ pub enum LabError {
         /// Hash of the spec being run.
         expected: String,
     },
+    /// An armed [`FailpointRegistry`] site injected a campaign-killing
+    /// fault (crash drills and the recovery self-tests).
+    Failpoint {
+        /// The site that fired.
+        site: String,
+        /// The injected [`FailAction`]'s name.
+        action: &'static str,
+    },
 }
 
 impl std::fmt::Display for LabError {
@@ -68,6 +90,11 @@ impl std::fmt::Display for LabError {
                 "{artifact} was produced by a different spec \
                  (artifact {stored}, current {expected}); \
                  rename the campaign or pass --fresh"
+            ),
+            LabError::Failpoint { site, action } => write!(
+                f,
+                "failpoint `{site}` injected {action}; campaign aborted \
+                 (rerun to resume from the artifact)"
             ),
         }
     }

@@ -48,10 +48,17 @@ pub struct CellStats {
     pub errors: usize,
     /// Runs the conformance monitor flagged.
     pub violations: usize,
+    /// Runs cut off by the per-job watchdog budget.
+    pub timeouts: usize,
+    /// Jobs retired after exhausting their retry budget.
+    pub quarantined: usize,
+    /// Non-terminal attempts (failures that were retried); these do not
+    /// count as runs of any terminal status.
+    pub retried: usize,
 }
 
 impl CellStats {
-    /// Folds one record in.
+    /// Folds one terminal record in.
     pub fn push(&mut self, rec: &RunRecord) {
         match rec.status {
             RunStatus::Ok => self.ok.push(RunStats {
@@ -64,7 +71,15 @@ impl CellStats {
             RunStatus::Panic => self.panics += 1,
             RunStatus::Error => self.errors += 1,
             RunStatus::Violation => self.violations += 1,
+            RunStatus::Timeout => self.timeouts += 1,
+            RunStatus::Quarantined => self.quarantined += 1,
         }
+    }
+
+    /// Failures that ended the job: everything but `ok` and the
+    /// retried-away attempts.
+    pub fn failed_runs(&self) -> usize {
+        self.panics + self.errors + self.violations + self.timeouts + self.quarantined
     }
 
     /// Number of `ok` runs folded in.
@@ -93,9 +108,24 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// Folds one freshly produced or replayed record.
+    /// Folds one record, treating every record as terminal (the
+    /// pre-retry behavior; equivalent to
+    /// [`CampaignReport::fold_with_retries`] with a zero budget).
     pub fn fold(&mut self, rec: &RunRecord) {
-        self.cells.entry(CellKey::of(rec)).or_default().push(rec);
+        self.fold_with_retries(rec, 0);
+    }
+
+    /// Folds one record under a retry budget. Terminal records count
+    /// toward their status; a retryable failure that was rerun (its
+    /// attempt index is inside the budget) counts only as a retry, so
+    /// folding a full artifact never double-counts a job.
+    pub fn fold_with_retries(&mut self, rec: &RunRecord, retries: u64) {
+        let cell = self.cells.entry(CellKey::of(rec)).or_default();
+        if rec.status.is_terminal(rec.attempt, retries) {
+            cell.push(rec);
+        } else {
+            cell.retried += 1;
+        }
     }
 
     /// Total panicking runs across cells.
@@ -106,6 +136,21 @@ impl CampaignReport {
     /// Total invariant violations across cells.
     pub fn total_violations(&self) -> usize {
         self.cells.values().map(|c| c.violations).sum()
+    }
+
+    /// Total watchdog timeouts across cells.
+    pub fn total_timeouts(&self) -> usize {
+        self.cells.values().map(|c| c.timeouts).sum()
+    }
+
+    /// Total quarantined jobs across cells.
+    pub fn total_quarantined(&self) -> usize {
+        self.cells.values().map(|c| c.quarantined).sum()
+    }
+
+    /// Total retried (non-terminal) attempts across cells.
+    pub fn total_retries(&self) -> usize {
+        self.cells.values().map(|c| c.retried).sum()
     }
 
     /// Renders the aligned per-cell report table.
@@ -121,10 +166,12 @@ impl CampaignReport {
             "rounds (min/mean/max)",
             "moves (mean)",
             "mem bits",
+            "t/o",
+            "quar",
+            "retried",
             "bad",
         ]);
         for (key, cell) in &self.cells {
-            let bad = cell.panics + cell.errors + cell.violations;
             match cell.run_summary() {
                 Some(s) => table.row([
                     key.algorithm.clone(),
@@ -137,7 +184,10 @@ impl CampaignReport {
                     format!("{}/{:.1}/{}", s.min_rounds, s.mean_rounds, s.max_rounds),
                     format!("{:.1}", s.mean_moves),
                     s.max_memory_bits.to_string(),
-                    bad.to_string(),
+                    cell.timeouts.to_string(),
+                    cell.quarantined.to_string(),
+                    cell.retried.to_string(),
+                    cell.failed_runs().to_string(),
                 ]),
                 None => table.row([
                     key.algorithm.clone(),
@@ -150,7 +200,10 @@ impl CampaignReport {
                     "-".into(),
                     "-".into(),
                     "-".into(),
-                    bad.to_string(),
+                    cell.timeouts.to_string(),
+                    cell.quarantined.to_string(),
+                    cell.retried.to_string(),
+                    cell.failed_runs().to_string(),
                 ]),
             }
         }
@@ -233,6 +286,7 @@ mod tests {
             faults: 0,
             seed_index: 0,
             seed: 0,
+            attempt: 0,
             status,
             dispersed: status == RunStatus::Ok,
             rounds,
@@ -272,6 +326,42 @@ mod tests {
         assert!(cell.run_summary().is_none());
         assert_eq!(cell.ok_runs(), 0);
         assert!(report.render().lines().last().unwrap().trim().ends_with('1'));
+    }
+
+    #[test]
+    fn retried_attempts_fold_apart_from_terminal_records() {
+        // attempt 0 panic (retried), attempt 1 timeout (retried),
+        // attempt 2 quarantined (terminal) under retries = 2.
+        let mut report = CampaignReport::default();
+        for (attempt, status) in [
+            (0, RunStatus::Panic),
+            (1, RunStatus::Timeout),
+            (2, RunStatus::Quarantined),
+        ] {
+            let mut rec = record("alg4", 8, 0, status);
+            rec.attempt = attempt;
+            report.fold_with_retries(&rec, 2);
+        }
+        let cell = report.cells.values().next().unwrap();
+        assert_eq!(cell.retried, 2);
+        assert_eq!(cell.quarantined, 1);
+        assert_eq!((cell.panics, cell.timeouts), (0, 0), "retried ≠ failed");
+        assert_eq!(cell.failed_runs(), 1);
+        assert_eq!(report.total_quarantined(), 1);
+        assert_eq!(report.total_retries(), 2);
+        assert_eq!(report.total_timeouts(), 0);
+        let rendered = report.render();
+        assert!(rendered.contains("quar"), "{rendered}");
+    }
+
+    #[test]
+    fn timeout_records_fold_as_timeouts() {
+        let mut report = CampaignReport::default();
+        report.fold(&record("alg4", 8, 0, RunStatus::Timeout));
+        let cell = report.cells.values().next().unwrap();
+        assert_eq!(cell.timeouts, 1);
+        assert_eq!(report.total_timeouts(), 1);
+        assert_eq!(cell.failed_runs(), 1);
     }
 
     #[test]

@@ -4,9 +4,11 @@
 use std::fs;
 use std::path::PathBuf;
 
+use std::time::Duration;
+
 use dispersion_lab::{
-    run_campaign, AdversaryKind, AlgorithmKind, CampaignSpec, NRule, RunRecord, RunStatus,
-    RunnerOptions,
+    run_campaign, AdversaryKind, AlgorithmKind, CampaignSpec, NRule, Placement, RunRecord,
+    RunStatus, RunnerOptions,
 };
 
 /// A fresh scratch directory under the target dir, unique per test.
@@ -39,11 +41,11 @@ fn opts(dir: &std::path::Path, jobs: usize) -> RunnerOptions {
     }
 }
 
-/// Reads back every run record, sorted by job id.
+/// Reads back every run record, sorted by (job id, attempt).
 fn records(path: &std::path::Path) -> Vec<RunRecord> {
     let text = fs::read_to_string(path).expect("artifact readable");
     let mut recs: Vec<RunRecord> = text.lines().filter_map(RunRecord::parse_line).collect();
-    recs.sort_by_key(|r| r.job_id);
+    recs.sort_by_key(|r| (r.job_id, r.attempt));
     recs
 }
 
@@ -162,4 +164,84 @@ fn panicking_jobs_are_recorded_and_isolated() {
         .iter()
         .filter(|r| r.adversary == "star-pair")
         .all(|r| r.status == RunStatus::Ok && r.dispersed));
+}
+
+#[test]
+fn byzantine_jobs_time_out_and_the_campaign_drains() {
+    let dir = scratch("byzantine");
+    // blind-global against the Theorem 2 clique trap from the
+    // near-dispersed start provably never terminates; with a round cap
+    // this large only the watchdog can retire the job.
+    let spec = CampaignSpec {
+        name: "byzantine".into(),
+        algorithms: vec![AlgorithmKind::Alg4, AlgorithmKind::BlindGlobal],
+        adversaries: vec![AdversaryKind::CliqueTrap],
+        ks: vec![6],
+        n_rule: NRule::k_plus(4),
+        placement: Placement::NearDispersed,
+        seeds: 1,
+        max_rounds: 1_000_000_000,
+        ..CampaignSpec::default()
+    };
+    let armed = RunnerOptions {
+        timeout: Some(Duration::from_millis(200)),
+        ..opts(&dir, 2)
+    };
+    let report = run_campaign(&spec, &armed).expect("the campaign must drain");
+    assert_eq!(report.total_timeouts(), 1);
+
+    let recs = records(&dir.join("byzantine.jsonl"));
+    assert_eq!(recs.len() as u64, spec.job_count());
+    let divergent = recs.iter().find(|r| r.algorithm == "blind-global").unwrap();
+    assert_eq!(divergent.status, RunStatus::Timeout);
+    assert!(!divergent.dispersed);
+    assert!(
+        divergent.message.as_deref().unwrap_or("").contains("budget exceeded"),
+        "{:?}",
+        divergent.message
+    );
+    // A timeout is terminal under a zero retry budget: resuming with the
+    // same options re-runs nothing.
+    let resumed = run_campaign(&spec, &armed).expect("resume");
+    assert_eq!(resumed.executed, 0);
+    assert_eq!(resumed.resumed as u64, spec.job_count());
+}
+
+#[test]
+fn retryable_failures_are_retried_then_quarantined() {
+    let dir = scratch("quarantine");
+    let spec = CampaignSpec {
+        name: "quarantine".into(),
+        algorithms: vec![AlgorithmKind::Alg4],
+        adversaries: vec![AdversaryKind::PanicProbe],
+        ks: vec![4],
+        seeds: 1,
+        ..CampaignSpec::default()
+    };
+    let retrying = RunnerOptions { retries: 2, backoff_ms: 0, ..opts(&dir, 1) };
+    let report = run_campaign(&spec, &retrying).expect("campaign drains");
+    assert_eq!(report.total_quarantined(), 1);
+    assert_eq!(report.total_retries(), 2);
+    assert_eq!(report.total_panics(), 0, "retried attempts are not terminal panics");
+
+    let recs = records(&dir.join("quarantine.jsonl"));
+    assert_eq!(recs.len(), 3, "one record per attempt");
+    assert_eq!(recs.iter().map(|r| r.attempt).collect::<Vec<_>>(), vec![0, 1, 2]);
+    assert_eq!(recs[0].status, RunStatus::Panic);
+    assert_eq!(recs[1].status, RunStatus::Panic);
+    assert_eq!(recs[2].status, RunStatus::Quarantined);
+    assert_eq!(recs[1].seed, recs[0].seed, "retries preserve the derived seed");
+    assert!(
+        recs[0].message.as_deref().unwrap_or("").contains("job.rs:"),
+        "panic records carry the panic's file:line: {:?}",
+        recs[0].message
+    );
+    let verdict = recs[2].message.as_deref().unwrap_or("");
+    assert!(verdict.contains("quarantined after 3 attempts"), "{verdict}");
+    assert!(verdict.contains("panic-probe"), "{verdict}");
+
+    // Quarantine is terminal: the resumed campaign runs nothing.
+    let resumed = run_campaign(&spec, &retrying).expect("resume");
+    assert_eq!(resumed.executed, 0);
+    assert_eq!(resumed.resumed, 1);
 }
