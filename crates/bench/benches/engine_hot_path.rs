@@ -5,11 +5,11 @@
 //! as rounds/sec; this target gives per-iteration wall-clock for quick
 //! A/B comparisons during engine work.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dispersion_core::DispersionDynamic;
 use dispersion_engine::adversary::{DynamicNetwork, DynamicRingNetwork, StaticNetwork};
 use dispersion_engine::{Configuration, ModelSpec, Simulator, TracePolicy};
-use dispersion_graph::{generators, NodeId};
+use dispersion_graph::{generators, NodeId, Port};
 
 const SIZES: [usize; 3] = [64, 256, 1024];
 
@@ -73,5 +73,59 @@ fn bench_adversarial(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ring, bench_grid, bench_adversarial);
+/// CSR neighbor iteration against a retained nested-Vec reference — the
+/// layout `PortLabeledGraph` had before the flat rewrite. Both sides do
+/// an identical full-graph sweep (every node, every half-edge, folding
+/// ids and ports); only the memory layout under the iteration differs,
+/// so the gap is the cache cost of one pointer-chased `Vec` per row.
+fn bench_graph_neighbors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_neighbors");
+    for n in SIZES {
+        let g = generators::random_connected(n, 0.08, 0xbe7c).unwrap();
+        // The pre-CSR representation, materialized once outside the
+        // timed loop.
+        let nested: Vec<Vec<(NodeId, Port)>> = g
+            .nodes()
+            .map(|v| g.neighbors(v).map(|(_, w, q)| (w, q)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("csr", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for v in g.nodes() {
+                    for (p, w, q) in g.neighbors(black_box(v)) {
+                        acc = acc
+                            .wrapping_add(w.index() as u64)
+                            .wrapping_add(p.get() as u64)
+                            .wrapping_add(q.get() as u64);
+                    }
+                }
+                black_box(acc)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("nested_vec", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for (vi, row) in nested.iter().enumerate() {
+                    let _ = black_box(vi);
+                    for (i, &(w, q)) in row.iter().enumerate() {
+                        acc = acc
+                            .wrapping_add(w.index() as u64)
+                            .wrapping_add(Port::from_index(i).get() as u64)
+                            .wrapping_add(q.get() as u64);
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ring,
+    bench_grid,
+    bench_adversarial,
+    bench_graph_neighbors
+);
 criterion_main!(benches);

@@ -7,17 +7,23 @@
 //! ```text
 //! cargo run --release -p dispersion-bench --bin bench_engine -- \
 //!     --out BENCH_engine.json --label post-refactor \
-//!     [--baseline results/BENCH_engine_baseline.json] [--quick]
+//!     [--baseline results/BENCH_engine_baseline.json] [--quick] \
+//!     [--threads N] [--gate PCT]
 //! ```
 //!
 //! `--baseline` embeds the results array of an earlier emission so the
 //! committed artifact carries before/after numbers side by side.
+//! `--threads N` overrides the engine thread count of every case in the
+//! matrix (the CI parallel smoke leg). `--gate PCT` (requires
+//! `--baseline`) exits non-zero when any matched single-thread row is
+//! more than PCT percent slower than the baseline.
 
 use std::fs;
 use std::process::ExitCode;
 
 use dispersion_lab::throughput::{
-    engine_cases, extract_results_array, measure, render_bench_json, render_table,
+    engine_cases, extract_results_array, measure, regression_gate, render_bench_json,
+    render_table,
 };
 
 struct Args {
@@ -25,6 +31,8 @@ struct Args {
     label: String,
     baseline: Option<String>,
     quick: bool,
+    threads: Option<usize>,
+    gate: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +40,8 @@ fn parse_args() -> Result<Args, String> {
     let mut label = String::from("current");
     let mut baseline = None;
     let mut quick = false;
+    let mut threads = None;
+    let mut gate = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -39,10 +49,25 @@ fn parse_args() -> Result<Args, String> {
             "--label" => label = it.next().ok_or("--label needs a value")?,
             "--baseline" => baseline = Some(it.next().ok_or("--baseline needs a path")?),
             "--quick" => quick = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a count")?;
+                let v: usize = v.parse().map_err(|_| format!("bad --threads {v}"))?;
+                if v == 0 {
+                    return Err("--threads must be ≥ 1".to_string());
+                }
+                threads = Some(v);
+            }
+            "--gate" => {
+                let v = it.next().ok_or("--gate needs a percentage")?;
+                gate = Some(v.parse().map_err(|_| format!("bad --gate {v}"))?);
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(Args { out, label, baseline, quick })
+    if gate.is_some() && baseline.is_none() {
+        return Err("--gate requires --baseline".to_string());
+    }
+    Ok(Args { out, label, baseline, quick, threads, gate })
 }
 
 fn main() -> ExitCode {
@@ -74,7 +99,12 @@ fn main() -> ExitCode {
         None => None,
     };
 
-    let cases = engine_cases(args.quick);
+    let mut cases = engine_cases(args.quick);
+    if let Some(threads) = args.threads {
+        for case in &mut cases {
+            case.threads = threads;
+        }
+    }
     let mut results = Vec::with_capacity(cases.len());
     for case in &cases {
         eprintln!("measuring {} ({} repeats)...", case.label(), case.repeats);
@@ -82,6 +112,16 @@ fn main() -> ExitCode {
     }
 
     println!("{}", render_table(&results));
+
+    if let (Some(pct), Some((_, base_results))) = (args.gate, baseline.as_ref()) {
+        match regression_gate(&results, base_results, pct) {
+            Ok(report) => eprint!("regression gate (≤{pct}%):\n{report}"),
+            Err(report) => {
+                eprint!("regression gate (≤{pct}%):\n{report}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let doc = render_bench_json(
         &args.label,

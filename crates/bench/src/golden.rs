@@ -193,7 +193,11 @@ pub fn golden_cases() -> Vec<GoldenCase> {
     ]
 }
 
-fn run_case<A: DispersionAlgorithm>(alg: A, case: &GoldenCase) -> SimOutcome {
+fn run_case<A>(alg: A, case: &GoldenCase, threads: usize) -> SimOutcome
+where
+    A: DispersionAlgorithm + Clone + Send + 'static,
+    A::Memory: Send + Sync,
+{
     let plan = if case.faults > 0 {
         FaultPlan::random(
             case.k,
@@ -213,6 +217,7 @@ fn run_case<A: DispersionAlgorithm>(alg: A, case: &GoldenCase) -> SimOutcome {
     )
     .max_rounds(case.max_rounds)
     .faults(plan)
+    .threads(threads)
     .build()
     .expect("golden cases satisfy k ≤ n")
     .run()
@@ -221,24 +226,45 @@ fn run_case<A: DispersionAlgorithm>(alg: A, case: &GoldenCase) -> SimOutcome {
 
 /// Runs `alg` for `case`, wrapping it in [`WithByzantine`] when the case
 /// carries a Byzantine configuration.
-fn run_maybe_byzantine<A: DispersionAlgorithm>(alg: A, case: &GoldenCase) -> SimOutcome {
+fn run_maybe_byzantine<A>(alg: A, case: &GoldenCase, threads: usize) -> SimOutcome
+where
+    A: DispersionAlgorithm + Clone + Send + 'static,
+    A::Memory: Send + Sync,
+{
     match case.byzantine {
         Some((count, strategy)) => run_case(
             WithByzantine::new(alg, (1..=count as u32).map(RobotId::new), strategy),
             case,
+            threads,
         ),
-        None => run_case(alg, case),
+        None => run_case(alg, case, threads),
     }
 }
 
 /// Executes one case and renders its canonical fixture text.
 pub fn render_case(case: &GoldenCase) -> String {
+    render_case_with_threads(case, 1)
+}
+
+/// [`render_case`] on `threads` engine workers. The fixtures are pinned
+/// at `threads = 1`; the parallel executor's determinism contract says
+/// this renders the byte-identical text for every thread count — the
+/// `golden_threads` test holds it to that.
+pub fn render_case_with_threads(case: &GoldenCase, threads: usize) -> String {
     let outcome = match case.algorithm {
-        GoldenAlgorithm::Alg4 => run_maybe_byzantine(DispersionDynamic::new(), case),
-        GoldenAlgorithm::LocalDfs => run_maybe_byzantine(LocalDfs::new(), case),
-        GoldenAlgorithm::RandomWalk => run_maybe_byzantine(RandomWalk::new(case.seed), case),
-        GoldenAlgorithm::GreedyLocal => run_maybe_byzantine(GreedyLocal::new(), case),
-        GoldenAlgorithm::BlindGlobal => run_maybe_byzantine(BlindGlobal::new(), case),
+        GoldenAlgorithm::Alg4 => {
+            run_maybe_byzantine(DispersionDynamic::new(), case, threads)
+        }
+        GoldenAlgorithm::LocalDfs => run_maybe_byzantine(LocalDfs::new(), case, threads),
+        GoldenAlgorithm::RandomWalk => {
+            run_maybe_byzantine(RandomWalk::new(case.seed), case, threads)
+        }
+        GoldenAlgorithm::GreedyLocal => {
+            run_maybe_byzantine(GreedyLocal::new(), case, threads)
+        }
+        GoldenAlgorithm::BlindGlobal => {
+            run_maybe_byzantine(BlindGlobal::new(), case, threads)
+        }
     };
     let mut out = String::from("golden-trace v1\n");
     let _ = writeln!(

@@ -115,6 +115,9 @@ pub enum Command {
         /// Seed-preserving reruns after a panic/timeout before the job
         /// is quarantined.
         retries: u64,
+        /// Engine worker threads per job (jobs × threads is clamped to
+        /// the available cores by the runner).
+        threads: usize,
     },
     /// `dispersion campaign-status …` — progress, retries, and
     /// quarantined jobs read from a (possibly partial) artifact.
@@ -142,6 +145,8 @@ pub enum Command {
         /// Arm only the structural (any-algorithm) invariants, not the
         /// Algorithm 4 theorem bounds.
         structural: bool,
+        /// Engine worker threads for each checked run.
+        threads: usize,
     },
     /// `dispersion bench …` — run the engine round-loop throughput
     /// harness (the `BENCH_engine.json` matrix).
@@ -154,6 +159,9 @@ pub enum Command {
         baseline: Option<String>,
         /// Smoke configuration: drop n = 1024, one repeat per case.
         quick: bool,
+        /// Override the engine thread count of every matrix case
+        /// (`None` keeps the matrix's own thread axis).
+        threads: Option<usize>,
     },
     /// `dispersion dot …` — export one round's graph as Graphviz DOT.
     Dot {
@@ -343,6 +351,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
             let mut check = false;
             let mut timeout_secs = 0u64;
             let mut retries = 0u64;
+            let mut threads = 1usize;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--name" => spec.name = take_value(flag, &mut iter)?.to_string(),
@@ -426,6 +435,13 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
                         retries =
                             parse_num(flag, take_value(flag, &mut iter)?, "a retry count")?
                     }
+                    "--threads" => {
+                        threads = parse_num(
+                            flag,
+                            take_value(flag, &mut iter)?,
+                            "an engine thread count",
+                        )?
+                    }
                     "--keep-traces" => keep_traces = true,
                     "--fresh" => fresh = true,
                     "--check" => check = true,
@@ -442,6 +458,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
                 check,
                 timeout_secs,
                 retries,
+                threads: threads.max(1),
             })
         }
         "campaign-status" => {
@@ -463,6 +480,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
             let mut seed = 7u64;
             let mut faults = 0usize;
             let mut structural = false;
+            let mut threads = 1usize;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--artifact" => artifact = Some(take_value(flag, &mut iter)?.to_string()),
@@ -476,6 +494,13 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
                         faults = parse_num(flag, take_value(flag, &mut iter)?, "a fault count")?
                     }
                     "--structural" => structural = true,
+                    "--threads" => {
+                        threads = parse_num(
+                            flag,
+                            take_value(flag, &mut iter)?,
+                            "an engine thread count",
+                        )?
+                    }
                     other => return Err(ParseError::UnknownFlag(other.into())),
                 }
             }
@@ -495,6 +520,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
                 seed,
                 faults,
                 structural,
+                threads: threads.max(1),
             })
         }
         "bench" => {
@@ -502,12 +528,24 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
             let mut label = String::from("current");
             let mut baseline = None;
             let mut quick = false;
+            let mut threads = None;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--out" => out = Some(take_value(flag, &mut iter)?.to_string()),
                     "--label" => label = take_value(flag, &mut iter)?.to_string(),
                     "--baseline" => baseline = Some(take_value(flag, &mut iter)?.to_string()),
                     "--quick" => quick = true,
+                    "--threads" => {
+                        let t: usize = parse_num(
+                            flag,
+                            take_value(flag, &mut iter)?,
+                            "an engine thread count ≥ 1",
+                        )?;
+                        if t == 0 {
+                            return Err(ParseError::Invalid("--threads must be ≥ 1"));
+                        }
+                        threads = Some(t);
+                    }
                     other => return Err(ParseError::UnknownFlag(other.into())),
                 }
             }
@@ -516,6 +554,7 @@ pub fn parse<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, Par
                 label,
                 baseline,
                 quick,
+                threads,
             })
         }
         "trap" => {
@@ -620,12 +659,13 @@ USAGE:
                         [--ks 4,8,16] [--n-rule 3k/2] [--faults 0,1] [--seeds S]
                         [--campaign-seed S] [--placement rooted|scattered|near-dispersed]
                         [--max-rounds R] [--edge-prob P] [--jobs J] [--out DIR]
-                        [--timeout SECS] [--retries R] [--fresh] [--keep-traces]
-                        [--check]
+                        [--timeout SECS] [--retries R] [--threads T] [--fresh]
+                        [--keep-traces] [--check]
     dispersion campaign-status --artifact FILE
     dispersion check [--artifact FILE | [--network …] [--n N] [--k K] [--seed S]
-                     [--faults F] [--structural]]
+                     [--faults F] [--structural]] [--threads T]
     dispersion bench [--out FILE] [--label L] [--baseline FILE] [--quick]
+                     [--threads T]
     dispersion trap --theorem 1|2 [--k K] [--rounds R]
     dispersion dot [--network …] [--n N] [--k K] [--seed S]
     dispersion lower-bound [--k K]
@@ -641,7 +681,9 @@ SUBCOMMANDS:
                  --check arms the conformance monitor on every job;
                  --timeout cuts divergent runs off with `timeout` records,
                  --retries reruns panicked/timed-out jobs (same seed,
-                 capped backoff) before quarantining them
+                 capped backoff) before quarantining them;
+                 --threads gives every job T engine worker threads
+                 (jobs × threads is clamped to the available cores)
     campaign-status
                  progress, per-status counts, retries, and quarantined
                  jobs read from a (possibly partial) campaign artifact
@@ -651,9 +693,11 @@ SUBCOMMANDS:
                  Algorithm 4 theorem bounds); violations report the round,
                  the ids involved, and the replay seed
     bench        measure engine round-loop throughput (rounds/sec and
-                 robot-steps/sec) over ring/grid/adversarial networks;
-                 --quick is the CI smoke matrix, --baseline embeds an
-                 earlier emission for side-by-side comparison
+                 robot-steps/sec) over ring/grid/adversarial networks,
+                 including the thread-scaling rows; --quick is the CI
+                 smoke matrix, --baseline embeds an earlier emission for
+                 side-by-side comparison, --threads overrides the thread
+                 count of every case
     dot          Graphviz DOT of one adversary round (occupancy annotated)
     trap         run a Theorem 1/2 impossibility trap against its victim
     lower-bound  run the Theorem 3 star-pair adversary (exactly k-1 rounds)
@@ -773,7 +817,7 @@ mod tests {
     #[test]
     fn parses_campaign_defaults() {
         let Command::Campaign {
-            spec, jobs, keep_traces, fresh, out_dir, check, timeout_secs, retries,
+            spec, jobs, keep_traces, fresh, out_dir, check, timeout_secs, retries, threads,
         } = parse(["campaign"]).unwrap()
         else {
             panic!("expected campaign");
@@ -784,12 +828,13 @@ mod tests {
         assert_eq!(out_dir, "results");
         assert_eq!(timeout_secs, 0, "watchdog disarmed by default");
         assert_eq!(retries, 0, "no retries by default");
+        assert_eq!(threads, 1, "sequential engine by default");
     }
 
     #[test]
     fn parses_campaign_full() {
         let Command::Campaign {
-            spec, jobs, keep_traces, fresh, out_dir, check, timeout_secs, retries,
+            spec, jobs, keep_traces, fresh, out_dir, check, timeout_secs, retries, threads,
         } = parse([
             "campaign",
             "--name",
@@ -822,6 +867,8 @@ mod tests {
             "30",
             "--retries",
             "2",
+            "--threads",
+            "2",
             "--fresh",
             "--keep-traces",
             "--check",
@@ -852,6 +899,7 @@ mod tests {
         assert_eq!(out_dir, "artifacts");
         assert_eq!(timeout_secs, 30);
         assert_eq!(retries, 2);
+        assert_eq!(threads, 2);
     }
 
     #[test]
@@ -886,8 +934,15 @@ mod tests {
                 seed: 3,
                 faults: 0,
                 structural: false,
+                threads: 1,
             }
         );
+        let Command::Check { threads, .. } =
+            parse(["check", "--threads", "4"]).unwrap()
+        else {
+            panic!("expected check");
+        };
+        assert_eq!(threads, 4);
         let Command::Check { artifact, structural, .. } =
             parse(["check", "--artifact", "results/nightly.jsonl", "--structural"]).unwrap()
         else {
@@ -961,6 +1016,7 @@ mod tests {
                 label: "current".into(),
                 baseline: None,
                 quick: false,
+                threads: None,
             }
         );
         assert_eq!(
@@ -973,6 +1029,8 @@ mod tests {
                 "--baseline",
                 "results/BENCH_engine_baseline.json",
                 "--quick",
+                "--threads",
+                "4",
             ])
             .unwrap(),
             Command::Bench {
@@ -980,11 +1038,16 @@ mod tests {
                 label: "post-refactor".into(),
                 baseline: Some("results/BENCH_engine_baseline.json".into()),
                 quick: true,
+                threads: Some(4),
             }
         );
         assert!(matches!(
             parse(["bench", "--out"]),
             Err(ParseError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse(["bench", "--threads", "0"]),
+            Err(ParseError::Invalid(_))
         ));
     }
 

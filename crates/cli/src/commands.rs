@@ -52,7 +52,10 @@ pub fn execute(cmd: Command) -> Result<String, DispersionError> {
             check,
             timeout_secs,
             retries,
-        } => campaign(spec, jobs, keep_traces, fresh, out_dir, check, timeout_secs, retries),
+            threads,
+        } => campaign(
+            spec, jobs, keep_traces, fresh, out_dir, check, timeout_secs, retries, threads,
+        ),
         Command::CampaignStatus { artifact } => campaign_status(&artifact),
         Command::Check {
             artifact,
@@ -62,13 +65,15 @@ pub fn execute(cmd: Command) -> Result<String, DispersionError> {
             seed,
             faults,
             structural,
-        } => check(artifact, network, n, k, seed, faults, structural),
+            threads,
+        } => check(artifact, network, n, k, seed, faults, structural, threads),
         Command::Bench {
             out,
             label,
             baseline,
             quick,
-        } => bench(out, &label, baseline, quick),
+            threads,
+        } => bench(out, &label, baseline, quick, threads),
         Command::Dot { network, n, k, seed } => Ok(dot(network, n, k, seed)?),
         Command::Trap { theorem, k, rounds } => Ok(trap(theorem, k, rounds)?),
         Command::LowerBound { k } => Ok(lower(k)?),
@@ -86,6 +91,7 @@ fn campaign(
     check: bool,
     timeout_secs: u64,
     retries: u64,
+    threads: usize,
 ) -> Result<String, DispersionError> {
     // Ad-hoc fault drills: failpoints armed from the environment
     // (DISPERSION_FAILPOINTS); unset means disarmed and free.
@@ -101,6 +107,7 @@ fn campaign(
         timeout: (timeout_secs > 0).then(|| std::time::Duration::from_secs(timeout_secs)),
         retries,
         failpoints,
+        engine_threads: threads,
         ..RunnerOptions::default()
     };
     let artifact = artifact_path(&spec, &opts);
@@ -134,6 +141,7 @@ fn campaign_status(artifact: &str) -> Result<String, DispersionError> {
 
 /// `dispersion check`: conformance-check either every run recorded in a
 /// campaign artifact, or one directly-specified run.
+#[allow(clippy::too_many_arguments)]
 fn check(
     artifact: Option<String>,
     network: NetworkKind,
@@ -142,10 +150,11 @@ fn check(
     seed: u64,
     faults: usize,
     structural: bool,
+    threads: usize,
 ) -> Result<String, DispersionError> {
     match artifact {
-        Some(path) => check_artifact(&path),
-        None => Ok(check_spec(network, n, k, seed, faults, structural)?),
+        Some(path) => check_artifact(&path, threads),
+        None => Ok(check_spec(network, n, k, seed, faults, structural, threads)?),
     }
 }
 
@@ -160,6 +169,7 @@ fn check_spec(
     seed: u64,
     faults: usize,
     structural: bool,
+    threads: usize,
 ) -> Result<String, SimError> {
     let policy = if structural { CheckPolicy::Structural } else { CheckPolicy::Full };
     let plan = || {
@@ -179,6 +189,7 @@ fn check_spec(
         .faults(plan())
         .check(policy)
         .check_seed(seed)
+        .threads(threads)
     };
     let mut out = format!(
         "conformance check: n={n} k={k} network={} seed={seed} faults={faults} policy={policy}\n",
@@ -217,7 +228,7 @@ fn check_spec(
 /// Replay uses the default spec knobs (round cap, edge probability,
 /// placement); the per-run (algorithm, adversary, n, k, faults, seed)
 /// tuples come from the records themselves.
-fn check_artifact(path: &str) -> Result<String, DispersionError> {
+fn check_artifact(path: &str, threads: usize) -> Result<String, DispersionError> {
     use dispersion_lab::job::{self, RunJob};
     use dispersion_lab::{AdversaryKind, AlgorithmKind, RunRecord, RunStatus};
 
@@ -246,7 +257,7 @@ fn check_artifact(path: &str) -> Result<String, DispersionError> {
             seed_index: rec.seed_index,
             derived_seed: rec.seed,
         };
-        let checked = job::execute(&job, &spec, false, true, None);
+        let checked = job::execute_with_threads(&job, &spec, false, true, None, threads);
         match checked.status {
             RunStatus::Ok => clean += 1,
             status => bad.push(format!(
@@ -279,6 +290,7 @@ fn bench(
     label: &str,
     baseline: Option<String>,
     quick: bool,
+    threads: Option<usize>,
 ) -> Result<String, DispersionError> {
     use dispersion_lab::throughput::{
         engine_cases, extract_results_array, measure, render_bench_json, render_table,
@@ -298,7 +310,13 @@ fn bench(
         None => None,
     };
 
-    let results: Vec<_> = engine_cases(quick).iter().map(measure).collect();
+    let mut cases = engine_cases(quick);
+    if let Some(threads) = threads {
+        for case in &mut cases {
+            case.threads = threads;
+        }
+    }
+    let results: Vec<_> = cases.iter().map(measure).collect();
     let doc = render_bench_json(
         label,
         &results,
@@ -723,6 +741,9 @@ mod tests {
             check: false,
             timeout_secs: 0,
             retries: 0,
+            // Parallel engines inside parallel jobs: the records (and
+            // therefore resume below) must be unaffected.
+            threads: 2,
         })
         .unwrap();
         assert!(out.contains("2 executed, 0 resumed"), "{out}");
@@ -738,6 +759,7 @@ mod tests {
             check: false,
             timeout_secs: 0,
             retries: 0,
+            threads: 1,
         })
         .unwrap();
         assert!(again.contains("0 executed, 2 resumed"), "{again}");
@@ -754,6 +776,7 @@ mod tests {
             seed: 3,
             faults: 1,
             structural: false,
+            threads: 2,
         })
         .unwrap();
         assert!(out.contains("policy=full"), "{out}");
@@ -767,6 +790,7 @@ mod tests {
             seed: 1,
             faults: 0,
             structural: true,
+            threads: 1,
         })
         .unwrap();
         assert!(structural.contains("policy=structural"), "{structural}");
@@ -791,6 +815,7 @@ mod tests {
             check: true,
             timeout_secs: 0,
             retries: 0,
+            threads: 1,
         })
         .unwrap();
         let artifact = out_dir.join("check-smoke.jsonl");
@@ -802,6 +827,10 @@ mod tests {
             seed: 0,
             faults: 0,
             structural: false,
+            // Replay the checked runs on a parallel engine: the monitor
+            // and its graph-hash determinism check must agree with the
+            // sequentially-written artifact.
+            threads: 2,
         })
         .unwrap();
         assert!(out.contains("2 clean, 0 flagged"), "{out}");

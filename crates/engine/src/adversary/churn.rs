@@ -1,6 +1,8 @@
 //! Oblivious random churn: a fresh random connected topology every round.
 
-use dispersion_graph::{generators, relabel, PortLabeledGraph};
+use dispersion_graph::generators::{self, RandomGraphScratch};
+use dispersion_graph::relabel::{self, RelabelScratch};
+use dispersion_graph::PortLabeledGraph;
 
 use crate::adversary::DynamicNetwork;
 use crate::{Configuration, MoveOracle};
@@ -10,11 +12,23 @@ use crate::{Configuration, MoveOracle};
 /// relabels every node's ports. It ignores robot positions — this is the
 /// "benign dynamism" used in the Table I row 3 upper-bound sweeps, in
 /// contrast to the adaptive trap adversaries.
+///
+/// The per-round rebuild is double-buffered: the unlabeled topology and
+/// the committed graph each live in a retained buffer, so once warm the
+/// adversary performs no heap allocation per round (the edge set's
+/// round-to-round variance can still grow a buffer's capacity, but it
+/// plateaus at the maximum working-set size).
 #[derive(Clone, Debug)]
 pub struct EdgeChurnNetwork {
     n: usize,
     extra_edge_prob: f64,
     seed: u64,
+    /// Generator scratch (edge builder + spanning-tree permutation).
+    scratch: RandomGraphScratch,
+    /// Relabeling scratch (flat per-row permutations).
+    relabel_scratch: RelabelScratch,
+    /// The canonically labeled topology of the current round.
+    staging: Option<PortLabeledGraph>,
     /// The graph of the last round, lent out to the simulator.
     current: Option<PortLabeledGraph>,
 }
@@ -36,18 +50,11 @@ impl EdgeChurnNetwork {
             n,
             extra_edge_prob,
             seed,
+            scratch: RandomGraphScratch::default(),
+            relabel_scratch: RelabelScratch::default(),
+            staging: None,
             current: None,
         }
-    }
-
-    fn graph_at(&self, round: u64) -> PortLabeledGraph {
-        let round_seed = self
-            .seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(round);
-        let g = generators::random_connected(self.n, self.extra_edge_prob, round_seed)
-            .expect("n > 0");
-        relabel::random_relabel(&g, round_seed ^ 0xabcd_ef01)
     }
 }
 
@@ -62,8 +69,35 @@ impl DynamicNetwork for EdgeChurnNetwork {
         _config: &Configuration,
         _oracle: &dyn MoveOracle,
     ) -> &PortLabeledGraph {
-        let g = self.graph_at(round);
-        self.current.insert(g)
+        let round_seed = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(round);
+        match &mut self.staging {
+            Some(g) => generators::random_connected_into(
+                self.n,
+                self.extra_edge_prob,
+                round_seed,
+                &mut self.scratch,
+                g,
+            )
+            .expect("n > 0"),
+            None => {
+                self.staging = Some(
+                    generators::random_connected(self.n, self.extra_edge_prob, round_seed)
+                        .expect("n > 0"),
+                )
+            }
+        }
+        let staged = self.staging.as_ref().expect("staging just filled");
+        let relabel_seed = round_seed ^ 0xabcd_ef01;
+        match &mut self.current {
+            Some(out) => {
+                relabel::random_relabel_into(staged, relabel_seed, &mut self.relabel_scratch, out)
+            }
+            None => self.current = Some(relabel::random_relabel(staged, relabel_seed)),
+        }
+        self.current.as_ref().expect("current just filled")
     }
 
     fn name(&self) -> &str {

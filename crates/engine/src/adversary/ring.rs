@@ -8,7 +8,8 @@
 //! adversary). Port labels never correlate across rounds, as the model
 //! allows.
 
-use dispersion_graph::{relabel, GraphBuilder, NodeId, PortLabeledGraph};
+use dispersion_graph::relabel::{self, RelabelScratch};
+use dispersion_graph::{GraphBuilder, NodeId, PortLabeledGraph};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -18,11 +19,24 @@ use crate::{Configuration, MoveOracle};
 
 /// A dynamic ring: the cycle over `n` nodes, re-embedded and re-labeled
 /// each round, optionally with one edge missing.
+///
+/// The per-round rebuild is double-buffered (embedding buffer, edge
+/// builder, unlabeled ring, committed graph), so once warm the adversary
+/// performs no heap allocation per round — the ring's edge count is
+/// constant, so every buffer reaches its steady size on the first round.
 #[derive(Clone, Debug)]
 pub struct DynamicRingNetwork {
     n: usize,
     drop_one_edge: bool,
     seed: u64,
+    /// Circular-embedding permutation buffer.
+    order: Vec<u32>,
+    /// Retained edge-insertion builder.
+    builder: GraphBuilder,
+    /// Relabeling scratch (flat per-row permutations).
+    relabel_scratch: RelabelScratch,
+    /// The canonically labeled ring of the current round.
+    staging: Option<PortLabeledGraph>,
     /// The graph of the last round, lent out to the simulator.
     current: Option<PortLabeledGraph>,
 }
@@ -40,33 +54,12 @@ impl DynamicRingNetwork {
             n,
             drop_one_edge,
             seed,
+            order: Vec::new(),
+            builder: GraphBuilder::new(0),
+            relabel_scratch: RelabelScratch::default(),
+            staging: None,
             current: None,
         }
-    }
-
-    fn graph_at(&self, round: u64) -> PortLabeledGraph {
-        let mut rng = StdRng::seed_from_u64(
-            self.seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add(round.wrapping_mul(0x94d0_49bb_1331_11eb)),
-        );
-        // Random circular embedding of the fixed node set.
-        let mut order: Vec<u32> = (0..self.n as u32).collect();
-        order.shuffle(&mut rng);
-        let dropped = self
-            .drop_one_edge
-            .then(|| rng.random_range(0..self.n));
-        let mut b = GraphBuilder::new(self.n);
-        for i in 0..self.n {
-            if Some(i) == dropped {
-                continue;
-            }
-            let u = NodeId::new(order[i]);
-            let v = NodeId::new(order[(i + 1) % self.n]);
-            b.add_edge(u, v).expect("cycle edges are simple for n ≥ 3");
-        }
-        let g = b.build().expect("ring is well formed");
-        relabel::random_relabel(&g, rng.random())
     }
 }
 
@@ -81,8 +74,42 @@ impl DynamicNetwork for DynamicRingNetwork {
         _config: &Configuration,
         _oracle: &dyn MoveOracle,
     ) -> &PortLabeledGraph {
-        let g = self.graph_at(round);
-        self.current.insert(g)
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(round.wrapping_mul(0x94d0_49bb_1331_11eb)),
+        );
+        // Random circular embedding of the fixed node set.
+        let order = &mut self.order;
+        order.clear();
+        order.extend(0..self.n as u32);
+        order.shuffle(&mut rng);
+        let dropped = self
+            .drop_one_edge
+            .then(|| rng.random_range(0..self.n));
+        let b = &mut self.builder;
+        b.reset(self.n);
+        for i in 0..self.n {
+            if Some(i) == dropped {
+                continue;
+            }
+            let u = NodeId::new(order[i]);
+            let v = NodeId::new(order[(i + 1) % self.n]);
+            b.add_edge(u, v).expect("cycle edges are simple for n ≥ 3");
+        }
+        match &mut self.staging {
+            Some(g) => b.build_into(g).expect("ring is well formed"),
+            None => self.staging = Some(b.build().expect("ring is well formed")),
+        }
+        let staged = self.staging.as_ref().expect("staging just filled");
+        let relabel_seed = rng.random();
+        match &mut self.current {
+            Some(out) => {
+                relabel::random_relabel_into(staged, relabel_seed, &mut self.relabel_scratch, out)
+            }
+            None => self.current = Some(relabel::random_relabel(staged, relabel_seed)),
+        }
+        self.current.as_ref().expect("current just filled")
     }
 
     fn name(&self) -> &str {

@@ -17,7 +17,7 @@ use dispersion_graph::{NodeId, Port, PortLabeledGraph};
 use crate::{Configuration, RobotId};
 
 /// What the sender knows about one *occupied* neighbor node.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct NeighborReport {
     /// The port at the sender's node leading to this neighbor (an element
     /// of `P_r^occupied(v_i)`).
@@ -31,8 +31,29 @@ pub struct NeighborReport {
     pub robots: Vec<RobotId>,
 }
 
+// Manual `Clone` so `clone_from` reuses the report's buffers; the
+// parallel executor refreshes each worker's packet copy element-wise,
+// and the derived `clone_from` would reallocate every round.
+impl Clone for NeighborReport {
+    fn clone(&self) -> Self {
+        NeighborReport {
+            port: self.port,
+            min_robot: self.min_robot,
+            count: self.count,
+            robots: self.robots.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.port = source.port;
+        self.min_robot = source.min_robot;
+        self.count = source.count;
+        self.robots.clone_from(&source.robots);
+    }
+}
+
 /// One per-node information packet (Section V).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct InfoPacket {
     /// Smallest-ID robot on the node; doubles as the node's identity.
     pub sender: RobotId,
@@ -52,6 +73,33 @@ pub struct InfoPacket {
     /// `P_r^occupied`), ascending by port. `None` without 1-neighborhood
     /// knowledge.
     pub occupied_neighbors: Option<Vec<NeighborReport>>,
+}
+
+// Manual `Clone` for the same reason as [`NeighborReport`]: warm
+// `clone_from` must reuse the robot list and every neighbor report's
+// buffers, keeping the parallel Compute phase allocation-free.
+impl Clone for InfoPacket {
+    fn clone(&self) -> Self {
+        InfoPacket {
+            sender: self.sender,
+            count: self.count,
+            robots: self.robots.clone(),
+            degree: self.degree,
+            occupied_neighbors: self.occupied_neighbors.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.sender = source.sender;
+        self.count = source.count;
+        self.robots.clone_from(&source.robots);
+        self.degree = source.degree;
+        match (&mut self.occupied_neighbors, &source.occupied_neighbors) {
+            // Vec's clone_from is element-wise, reusing each report.
+            (Some(dst), Some(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
+    }
 }
 
 impl InfoPacket {
@@ -151,19 +199,41 @@ fn write_packet_slot(
     out: &mut Vec<InfoPacket>,
     slot: usize,
 ) {
-    let robots = &node_robots[v.index()];
-    let sender = robots[0];
     if slot == out.len() {
-        out.push(InfoPacket {
-            sender,
-            count: 0,
-            robots: Vec::new(),
-            degree: None,
-            occupied_neighbors: None,
-        });
+        out.push(blank_packet());
     }
-    let p = &mut out[slot];
-    p.sender = sender;
+    write_packet_into(g, node_robots, v, neighborhood, &mut out[slot]);
+}
+
+/// An empty packet carcass whose buffers a later [`write_packet_into`]
+/// will fill — the growth unit of a cold packet buffer.
+pub(crate) fn blank_packet() -> InfoPacket {
+    InfoPacket {
+        sender: RobotId::new(1),
+        count: 0,
+        robots: Vec::new(),
+        degree: None,
+        occupied_neighbors: None,
+    }
+}
+
+/// Writes the packet of occupied node `v` into `p`, reusing `p`'s
+/// buffers. The slot-addressed core shared by the sequential builders
+/// above and the parallel executor (which hands each worker a disjoint
+/// range of pre-grown slots).
+///
+/// # Panics
+///
+/// Panics if `v` is unoccupied.
+pub(crate) fn write_packet_into(
+    g: &PortLabeledGraph,
+    node_robots: &[Vec<RobotId>],
+    v: NodeId,
+    neighborhood: bool,
+    p: &mut InfoPacket,
+) {
+    let robots = &node_robots[v.index()];
+    p.sender = robots[0];
     p.count = robots.len();
     p.robots.clear();
     p.robots.extend_from_slice(robots);

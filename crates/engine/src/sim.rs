@@ -18,6 +18,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::adversary::DynamicNetwork;
 use crate::budget::Budget;
+use crate::executor::{self, WorkerPool};
 use crate::invariants::{CheckPolicy, InvariantMonitor, RoundContext, TerminalContext};
 use crate::oracle::EngineOracle;
 use crate::packet::{build_own_packet_into, build_packets_into};
@@ -127,13 +128,21 @@ struct RoundScratch {
     /// identical graph (every static network, and dynamic ones between
     /// changes) skips validation and connectivity entirely.
     validated: Option<PortLabeledGraph>,
+    /// Warm stamp buffer for [`PortLabeledGraph::validate_with`], so
+    /// re-validating a changed graph (every round under a dynamic
+    /// adversary) allocates nothing.
+    validate_seen: Vec<u32>,
 }
 
 impl RoundScratch {
     fn new(n: usize, per_node_capacity: usize) -> Self {
-        let row = Vec::with_capacity(per_node_capacity);
+        // Not `vec![row; n]`: cloning a Vec drops its spare capacity, which
+        // would silently void the `scratch_capacity` reservation for all
+        // but one row.
         RoundScratch {
-            node_robots: vec![row; n],
+            node_robots: (0..n)
+                .map(|_| Vec::with_capacity(per_node_capacity))
+                .collect(),
             occupied: Vec::new(),
             view: RobotView {
                 round: 0,
@@ -157,6 +166,7 @@ impl RoundScratch {
             },
             union_find: DisjointSets::new(n),
             validated: None,
+            validate_seen: Vec::new(),
         }
     }
 }
@@ -209,6 +219,7 @@ pub struct SimulatorBuilder<A: DispersionAlgorithm, N: DynamicNetwork> {
     check_seed: Option<u64>,
     check_round_limit: Option<u64>,
     check_expected_graphs: Option<Vec<u64>>,
+    pool: Option<(WorkerPool, executor::ParComputeFn<A>)>,
 }
 
 impl<A: DispersionAlgorithm, N: DynamicNetwork> SimulatorBuilder<A, N> {
@@ -228,6 +239,7 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> SimulatorBuilder<A, N> {
             check_seed: None,
             check_round_limit: None,
             check_expected_graphs: None,
+            pool: None,
         }
     }
 
@@ -376,7 +388,39 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> SimulatorBuilder<A, N> {
             decisions: Vec::new(),
             scratch,
             monitor,
+            pool: self.pool,
+            par_live: Vec::new(),
+            par_slots: Vec::new(),
         })
+    }
+}
+
+impl<A, N> SimulatorBuilder<A, N>
+where
+    A: DispersionAlgorithm + Clone + Send + 'static,
+    A::Memory: Send + Sync,
+    N: DynamicNetwork,
+{
+    /// Runs the per-node packet aggregation and the per-robot Compute
+    /// phase of every round on `threads` persistent worker threads
+    /// (spawned here, joined when the simulator drops). `threads <= 1`
+    /// — the default — keeps the untouched sequential path.
+    ///
+    /// The executor partitions work into fixed id-ordered chunks and
+    /// merges results through pre-assigned slots, so a run is
+    /// **byte-identical for every thread count**: golden traces, graph
+    /// fingerprints, and seed reproducibility are all preserved (see
+    /// `executor.rs`). Each worker owns a clone of the algorithm, which
+    /// is why this — unlike the other builder methods — requires
+    /// `A: Clone + Send` and a `Send + Sync` memory type.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.pool = (threads > 1).then(|| {
+            (
+                executor::spawn_pool(threads, &self.algorithm),
+                executor::par_compute::<A> as executor::ParComputeFn<A>,
+            )
+        });
+        self
     }
 }
 
@@ -419,6 +463,15 @@ pub struct Simulator<A: DispersionAlgorithm, N: DynamicNetwork> {
     scratch: RoundScratch,
     /// `None` (checking off) costs one discriminant test per round.
     monitor: Option<InvariantMonitor>,
+    /// Persistent worker pool ([`SimulatorBuilder::threads`]) plus the
+    /// monomorphized parallel-Compute entry point; `None` (the default)
+    /// runs the untouched sequential round loop.
+    pool: Option<(WorkerPool, executor::ParComputeFn<A>)>,
+    /// Activated robots of the round in configuration order — the
+    /// parallel Compute work list, reused across rounds.
+    par_live: Vec<(RobotId, NodeId)>,
+    /// Slot-ordered parallel Compute output, drained into `decisions`.
+    par_slots: Vec<executor::Decision<A>>,
 }
 
 fn activated(activation: Activation, round: u64, robot: RobotId) -> bool {
@@ -454,6 +507,12 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
     /// The dynamic network, e.g. to read adversary statistics after `run`.
     pub fn network(&self) -> &N {
         &self.network
+    }
+
+    /// Worker threads executing the round loop: the pool size configured
+    /// via [`SimulatorBuilder::threads`], or 1 for the sequential path.
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |(pool, _)| pool.workers())
     }
 
     fn crash(&mut self, r: RobotId) -> bool {
@@ -528,7 +587,7 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
                     },
                 });
             }
-            g.validate()
+            g.validate_with(&mut self.scratch.validate_seen)
                 .and_then(|()| {
                     if is_connected_with(g, &mut self.scratch.union_find) {
                         Ok(())
@@ -563,44 +622,84 @@ impl<A: DispersionAlgorithm, N: DynamicNetwork> Simulator<A, N> {
         // same packet list — build it once into the shared view.
         let neighborhood = self.model.neighborhood;
         if self.model.comm == CommModel::Global {
-            build_packets_into(
-                g,
-                &self.scratch.node_robots,
-                &self.scratch.occupied,
-                neighborhood,
-                &mut self.scratch.view.packets,
-            );
+            match &self.pool {
+                Some((pool, _)) => executor::par_packets(
+                    pool,
+                    g,
+                    &self.scratch.node_robots,
+                    &self.scratch.occupied,
+                    neighborhood,
+                    &mut self.scratch.view.packets,
+                ),
+                None => build_packets_into(
+                    g,
+                    &self.scratch.node_robots,
+                    &self.scratch.occupied,
+                    neighborhood,
+                    &mut self.scratch.view.packets,
+                ),
+            }
         }
         self.scratch.view.round = round;
         self.scratch.view.k = self.k;
         self.scratch.view_node = None;
 
         // Compute (pure; memories updated after Move). The per-node parts
-        // of the view are rewritten only when the node changes.
-        for (robot, v) in self.config.iter() {
-            if !activated(self.options.activation, round, robot) {
-                continue;
-            }
-            if self.scratch.view_node != Some(v) {
-                write_node_view(g, &self.scratch.node_robots, v, neighborhood, &mut self.scratch.view);
-                if self.model.comm == CommModel::Local {
-                    build_own_packet_into(
-                        g,
-                        &self.scratch.node_robots,
-                        v,
-                        neighborhood,
-                        &mut self.scratch.view.packets,
-                    );
+        // of the view are rewritten only when the node changes. With a
+        // worker pool the same visit order is split into fixed id-ordered
+        // chunks whose slot-ordered merge reproduces the sequential
+        // decision sequence exactly (see `executor.rs`).
+        if let Some((pool, par_compute)) = &self.pool {
+            self.par_live.clear();
+            for (robot, v) in self.config.iter() {
+                if activated(self.options.activation, round, robot) {
+                    self.par_live.push((robot, v));
                 }
-                self.scratch.view_node = Some(v);
             }
-            self.scratch.view.me = robot;
-            self.scratch.view.arrival_port = self.arrival_ports[robot.index()];
-            let mem = self.memories[robot.index()]
-                .as_ref()
-                .expect("live robots have memories");
-            let (action, next) = self.algorithm.step(&self.scratch.view, mem);
-            self.decisions.push((robot, action, next));
+            par_compute(
+                pool,
+                g,
+                &self.scratch.node_robots,
+                &self.par_live,
+                &self.scratch.view.packets,
+                &self.arrival_ports,
+                &self.memories,
+                self.model,
+                round,
+                self.k,
+                &mut self.par_slots,
+            );
+            self.decisions.extend(
+                self.par_slots
+                    .drain(..)
+                    .map(|slot| slot.expect("every dispatched slot is filled")),
+            );
+        } else {
+            for (robot, v) in self.config.iter() {
+                if !activated(self.options.activation, round, robot) {
+                    continue;
+                }
+                if self.scratch.view_node != Some(v) {
+                    write_node_view(g, &self.scratch.node_robots, v, neighborhood, &mut self.scratch.view);
+                    if self.model.comm == CommModel::Local {
+                        build_own_packet_into(
+                            g,
+                            &self.scratch.node_robots,
+                            v,
+                            neighborhood,
+                            &mut self.scratch.view.packets,
+                        );
+                    }
+                    self.scratch.view_node = Some(v);
+                }
+                self.scratch.view.me = robot;
+                self.scratch.view.arrival_port = self.arrival_ports[robot.index()];
+                let mem = self.memories[robot.index()]
+                    .as_ref()
+                    .expect("live robots have memories");
+                let (action, next) = self.algorithm.step(&self.scratch.view, mem);
+                self.decisions.push((robot, action, next));
+            }
         }
 
         // After-Compute crashes: these robots vanish without moving.

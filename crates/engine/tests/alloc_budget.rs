@@ -10,7 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use dispersion_engine::adversary::StaticNetwork;
+use dispersion_engine::adversary::{DynamicRingNetwork, StaticNetwork};
 use dispersion_engine::{
     Action, Budget, CheckPolicy, Configuration, DispersionAlgorithm, MemoryFootprint,
     ModelSpec, RobotId, RobotView, Simulator, Step, TracePolicy,
@@ -140,6 +140,58 @@ fn steady_state_step_allocates_nothing() {
         after - warmed,
         0,
         "steady-state step() must not touch the heap (got {} allocations over 500 rounds)",
+        after - warmed
+    );
+}
+
+#[test]
+fn adversarial_network_steady_state_allocates_nothing() {
+    // The zero-allocation contract extends to *dynamic* adversaries: the
+    // per-round rebuild (graph generation, port relabeling, validation,
+    // connectivity) runs entirely in retained buffers. The ring adversary
+    // is the natural probe — its edge count is constant, so every buffer
+    // reaches its steady size within the warm-up.
+    let (n, k) = (64usize, 16usize);
+    let mut sim = Simulator::builder(
+        Walker,
+        DynamicRingNetwork::new(n, false, 7),
+        ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+        Configuration::rooted(n, k, NodeId::new(0)),
+    )
+    .max_rounds(1_000_000)
+    .trace(TracePolicy::Off)
+    .check(CheckPolicy::Off)
+    // The ring re-embeds every round, so the walking group visits all 64
+    // node-index rows eventually; reserve them up front instead of paying
+    // a hundreds-of-rounds warm-up.
+    .scratch_capacity(k)
+    .build()
+    .expect("k ≤ n");
+
+    // A longer warm-up than the static test: the relabel/generator
+    // scratch and the validation stamp buffer also need to reach their
+    // plateau.
+    for _ in 0..32 {
+        match sim.step().expect("valid walk") {
+            Step::Advanced(_) => {}
+            Step::Dispersed => panic!("the walker group never disperses"),
+        }
+    }
+    let warmed = local_allocations();
+    assert!(warmed > 0, "the counter must be live");
+
+    for _ in 0..500 {
+        match sim.step().expect("valid walk") {
+            Step::Advanced(_) => {}
+            Step::Dispersed => panic!("the walker group never disperses"),
+        }
+    }
+    let after = local_allocations();
+    assert_eq!(
+        after - warmed,
+        0,
+        "steady-state step() under a dynamic adversary must not touch the \
+         heap (got {} allocations over 500 rounds)",
         after - warmed
     );
 }

@@ -1,0 +1,185 @@
+//! Determinism contract of the parallel executor: a run is byte-identical
+//! for every thread count, and repeated same-seed parallel runs agree.
+//!
+//! The executor splits the Communicate/Compute phases into fixed
+//! id-ordered chunks merged through pre-assigned slots (see
+//! `src/executor.rs`), so nothing about a run — per-round records, move
+//! counts, the final configuration, even the adversary's graph sequence
+//! (which white-box depends on robot state) — may vary with `threads`.
+
+use dispersion_engine::adversary::{DynamicRingNetwork, EdgeChurnNetwork, StaticNetwork};
+use dispersion_engine::{
+    Action, Activation, CheckPolicy, Configuration, DispersionAlgorithm, MemoryFootprint,
+    ModelSpec, RobotId, RobotView, SimOutcome, Simulator,
+};
+use dispersion_graph::{generators, NodeId};
+
+/// A dispersing algorithm with real state: every non-minimum robot on a
+/// multiplicity node walks out through the empty port of its rank (when
+/// sensing shows one), else through a rotating port picked from its hop
+/// counter — enough memory and packet reads to catch a merge bug.
+#[derive(Clone)]
+struct Spill;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Hops(u32);
+
+impl MemoryFootprint for Hops {
+    fn persistent_bits(&self) -> usize {
+        32
+    }
+}
+
+impl DispersionAlgorithm for Spill {
+    type Memory = Hops;
+
+    fn name(&self) -> &str {
+        "spill"
+    }
+
+    fn init(&self, _me: RobotId, _k: usize) -> Hops {
+        Hops(0)
+    }
+
+    fn step(&self, view: &RobotView, mem: &Hops) -> (Action, Hops) {
+        if view.colocated.first() == Some(&view.me) {
+            return (Action::Stay, Hops(mem.0));
+        }
+        let rank = view
+            .colocated
+            .iter()
+            .position(|&r| r == view.me)
+            .expect("self in colocated")
+            - 1;
+        if let Some(empties) = view.empty_ports() {
+            if !empties.is_empty() {
+                return (Action::Move(empties[rank % empties.len()]), Hops(mem.0 + 1));
+            }
+        }
+        let ports: Vec<_> = (1..=view.degree).collect();
+        let p = ports[(mem.0 as usize + rank) % ports.len()];
+        (
+            Action::Move(dispersion_graph::Port::new(p as u32)),
+            Hops(mem.0 + 1),
+        )
+    }
+}
+
+fn run_at(
+    threads: usize,
+    model: ModelSpec,
+    activation: Activation,
+    net: impl FnOnce() -> Box<dyn RunNet>,
+) -> SimOutcome {
+    net().run(threads, model, activation)
+}
+
+/// Object-safe adapter so one helper can drive differently typed
+/// networks.
+trait RunNet {
+    fn run(self: Box<Self>, threads: usize, model: ModelSpec, activation: Activation)
+        -> SimOutcome;
+}
+
+struct With<N>(N, usize, usize);
+
+impl<N: dispersion_engine::adversary::DynamicNetwork> RunNet for With<N> {
+    fn run(
+        self: Box<Self>,
+        threads: usize,
+        model: ModelSpec,
+        activation: Activation,
+    ) -> SimOutcome {
+        let With(net, n, k) = *self;
+        Simulator::builder(Spill, net, model, Configuration::rooted(n, k, NodeId::new(0)))
+            .max_rounds(400)
+            .activation(activation)
+            .check(CheckPolicy::Structural)
+            .threads(threads)
+            .build()
+            .expect("k ≤ n")
+            .run()
+            .expect("clean run")
+    }
+}
+
+fn assert_same(a: &SimOutcome, b: &SimOutcome, what: &str) {
+    assert_eq!(a.dispersed, b.dispersed, "{what}: dispersed");
+    assert_eq!(a.rounds, b.rounds, "{what}: rounds");
+    assert_eq!(a.crashes, b.crashes, "{what}: crashes");
+    assert_eq!(a.final_config, b.final_config, "{what}: final configuration");
+    assert_eq!(a.trace.records, b.trace.records, "{what}: per-round records");
+}
+
+#[test]
+fn thread_count_does_not_change_any_run() {
+    let cases: &[(&str, ModelSpec, Activation)] = &[
+        (
+            "global+neighborhood",
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Activation::FullSync,
+        ),
+        (
+            "local+neighborhood",
+            ModelSpec::LOCAL_WITH_NEIGHBORHOOD,
+            Activation::FullSync,
+        ),
+        (
+            "global+semisync",
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Activation::SemiSync {
+                p_percent: 70,
+                seed: 11,
+            },
+        ),
+    ];
+    for &(what, model, activation) in cases {
+        for (name, mk) in net_makers() {
+            let base = run_at(1, model, activation, mk);
+            for threads in [2usize, 8] {
+                let par = run_at(threads, model, activation, mk);
+                assert_same(&base, &par, &format!("{what}/{name}@{threads}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn same_seed_parallel_runs_agree() {
+    for (name, mk) in net_makers() {
+        let a = run_at(
+            8,
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Activation::FullSync,
+            mk,
+        );
+        let b = run_at(
+            8,
+            ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
+            Activation::FullSync,
+            mk,
+        );
+        assert_same(&a, &b, &format!("double-run {name}@8"));
+    }
+}
+
+type NetMaker = fn() -> Box<dyn RunNet>;
+
+fn net_makers() -> impl Iterator<Item = (&'static str, NetMaker)> {
+    let makers: [(&'static str, NetMaker); 3] = [
+        ("static-cycle", || {
+            Box::new(With(
+                StaticNetwork::new(generators::cycle(48).expect("n ≥ 3")),
+                48,
+                24,
+            ))
+        }),
+        ("dynamic-ring", || {
+            Box::new(With(DynamicRingNetwork::new(48, true, 5), 48, 24))
+        }),
+        ("edge-churn", || {
+            Box::new(With(EdgeChurnNetwork::new(40, 0.08, 9), 40, 20))
+        }),
+    ];
+    makers.into_iter()
+}

@@ -32,6 +32,9 @@ pub struct GraphBuilder {
     n: usize,
     /// Sparse port map per node: `ports[v]` holds `(port, neighbor)` pairs.
     ports: Vec<Vec<(Port, NodeId)>>,
+    /// Stamp scratch lent to the final CSR validation pass so a warm
+    /// [`GraphBuilder::build_into`] performs no allocation.
+    seen: Vec<u32>,
 }
 
 impl GraphBuilder {
@@ -40,6 +43,21 @@ impl GraphBuilder {
         GraphBuilder {
             n,
             ports: vec![Vec::new(); n],
+            seen: Vec::new(),
+        }
+    }
+
+    /// Clears all edges and re-sizes to `n` nodes, keeping the per-node
+    /// buffers so a rebuilding adversary allocates nothing once warm.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        for row in &mut self.ports {
+            row.clear();
+        }
+        if self.ports.len() > n {
+            self.ports.truncate(n);
+        } else {
+            self.ports.resize_with(n, Vec::new);
         }
     }
 
@@ -76,9 +94,12 @@ impl GraphBuilder {
     }
 
     fn next_free_port(&self, v: NodeId) -> Port {
-        let used: Vec<u32> = self.ports[v.index()].iter().map(|&(p, _)| p.get()).collect();
+        let row = &self.ports[v.index()];
         let mut label = 1u32;
-        while used.contains(&label) {
+        // Quadratic in the degree in the worst case, but the row is tiny
+        // and this runs on every `add_edge` — scanning in place beats the
+        // per-call buffer the old implementation allocated.
+        while row.iter().any(|&(p, _)| p.get() == label) {
             label += 1;
         }
         Port::new(label)
@@ -133,18 +154,56 @@ impl GraphBuilder {
     /// Returns [`GraphError::NonContiguousPorts`] if some node's port labels
     /// are not exactly `1..=δ(v)`, or [`GraphError::Empty`] for `n = 0`.
     pub fn build(&self) -> Result<PortLabeledGraph, GraphError> {
+        let mut out = PortLabeledGraph::placeholder();
+        let mut seen = Vec::new();
+        self.fill_csr(&mut out, &mut seen)?;
+        Ok(out)
+    }
+
+    /// Finalizes the graph *into* an existing one, overwriting its CSR
+    /// storage in place. Once the destination's buffers have grown to the
+    /// working-set size this performs no allocation, which is what the
+    /// per-round adversary rebuild path relies on.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GraphBuilder::build`]. On error the
+    /// destination's contents are unspecified and must not be used as a
+    /// graph.
+    pub fn build_into(&mut self, out: &mut PortLabeledGraph) -> Result<(), GraphError> {
+        // Move the stamp scratch out so `fill_csr` can take `&self`.
+        let mut seen = std::mem::take(&mut self.seen);
+        let result = self.fill_csr(out, &mut seen);
+        self.seen = seen;
+        result
+    }
+
+    fn fill_csr(
+        &self,
+        out: &mut PortLabeledGraph,
+        seen: &mut Vec<u32>,
+    ) -> Result<(), GraphError> {
         if self.n == 0 {
             return Err(GraphError::Empty);
         }
-        let mut adj: Vec<Vec<Option<(NodeId, Port)>>> = self
-            .ports
-            .iter()
-            .map(|row| vec![None; row.len()])
-            .collect();
-        // Place each directed half-edge at its port slot.
+        let (offsets, adj, m) = out.csr_parts_mut();
+        offsets.clear();
+        offsets.push(0);
+        let mut total = 0u32;
+        for row in &self.ports {
+            total += row.len() as u32;
+            offsets.push(total);
+        }
+        adj.clear();
+        adj.resize(total as usize, (NodeId::new(0), Port::new(1)));
+        // Place each directed half-edge at its port slot. The insertion
+        // API guarantees the ports of a row are distinct, so `1..=δ(v)`
+        // coverage reduces to a bounds check per half-edge and no slot is
+        // written twice.
         for (vi, row) in self.ports.iter().enumerate() {
             let v = NodeId::new(vi as u32);
             let deg = row.len();
+            let base = offsets[vi] as usize;
             for &(p, w) in row {
                 if p.index() >= deg {
                     return Err(GraphError::NonContiguousPorts { node: v, degree: deg });
@@ -155,23 +214,11 @@ impl GraphBuilder {
                     .find(|&&(_, x)| x == v)
                     .map(|&(q, _)| q)
                     .expect("edges are inserted symmetrically");
-                adj[vi][p.index()] = Some((w, q));
+                adj[base + p.index()] = (w, q);
             }
         }
-        let adj: Vec<Vec<(NodeId, Port)>> = adj
-            .into_iter()
-            .enumerate()
-            .map(|(vi, row)| {
-                let deg = row.len();
-                row.into_iter()
-                    .collect::<Option<Vec<_>>>()
-                    .ok_or(GraphError::NonContiguousPorts {
-                        node: NodeId::new(vi as u32),
-                        degree: deg,
-                    })
-            })
-            .collect::<Result<_, _>>()?;
-        PortLabeledGraph::from_adjacency(adj)
+        *m = crate::graph::check_csr(offsets, adj, seen)?;
+        Ok(())
     }
 }
 

@@ -28,16 +28,129 @@ pub struct EdgeRef {
 ///
 /// The structure is immutable once built; dynamic graphs are sequences of
 /// `PortLabeledGraph`s (see [`crate::dynamics::GraphSequence`]).
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Internally the adjacency is stored in CSR form — one flat half-edge
+/// array indexed by an offsets table — so neighbor iteration walks a
+/// single contiguous allocation instead of chasing one heap pointer per
+/// node. Rebuilders ([`crate::GraphBuilder::build_into`],
+/// [`crate::relabel::random_relabel_into`]) overwrite these two vectors in
+/// place, which is what makes per-round adversary graphs allocation-free
+/// once warm.
+#[derive(PartialEq, Eq)]
 pub struct PortLabeledGraph {
-    /// `adj[v][p-1] = (w, q)`: following port `p` from `v` reaches `w`,
-    /// entering through `w`'s port `q`.
-    adj: Vec<Vec<(NodeId, Port)>>,
+    /// CSR offsets: the half-edges of node `v` occupy
+    /// `adj[offsets[v] as usize .. offsets[v + 1] as usize]`, in port
+    /// order. Always `n + 1` entries.
+    offsets: Vec<u32>,
+    /// Flat half-edge array: slot `offsets[v] + (p − 1)` holds `(w, q)` —
+    /// following port `p` from `v` reaches `w`, entering through `w`'s
+    /// port `q`.
+    adj: Vec<(NodeId, Port)>,
     /// Number of undirected edges.
     m: usize,
 }
 
+/// `Clone` is implemented by hand so that `clone_from` reuses the
+/// destination's buffers: the simulator's validated-graph cache clones the
+/// adversary's graph every time the topology changes, and a derived
+/// `clone_from` would reallocate both CSR vectors per round.
+impl Clone for PortLabeledGraph {
+    fn clone(&self) -> Self {
+        PortLabeledGraph {
+            offsets: self.offsets.clone(),
+            adj: self.adj.clone(),
+            m: self.m,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.offsets.clone_from(&source.offsets);
+        self.adj.clone_from(&source.adj);
+        self.m = source.m;
+    }
+}
+
+/// Checks every model invariant over a CSR table and returns the
+/// undirected edge count. `seen` is a stamped scratch buffer (resized and
+/// cleared here) so a warm caller performs no allocation.
+pub(crate) fn check_csr(
+    offsets: &[u32],
+    adj: &[(NodeId, Port)],
+    seen: &mut Vec<u32>,
+) -> Result<usize, GraphError> {
+    let n = offsets.len().saturating_sub(1);
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut m = 0usize;
+    // seen[w] == stamp of the node currently being scanned means `w`
+    // already appeared in its row (a parallel edge).
+    seen.clear();
+    seen.resize(n, 0);
+    for vi in 0..n {
+        let v = NodeId::new(vi as u32);
+        let stamp = vi as u32 + 1;
+        let row = &adj[offsets[vi] as usize..offsets[vi + 1] as usize];
+        for (pi, &(w, q)) in row.iter().enumerate() {
+            if w.index() >= n {
+                return Err(GraphError::NodeOutOfRange { node: w, n });
+            }
+            if w.index() == vi {
+                return Err(GraphError::SelfLoop { node: v });
+            }
+            if seen[w.index()] == stamp {
+                return Err(GraphError::DuplicateEdge { u: v, v: w });
+            }
+            seen[w.index()] = stamp;
+            // Cross-reference: following q from w must come back to v
+            // through p.
+            let wrow =
+                &adj[offsets[w.index()] as usize..offsets[w.index() + 1] as usize];
+            match wrow.get(q.index()).copied() {
+                Some((back_node, back_port))
+                    if back_node == v && back_port.index() == pi => {}
+                _ => {
+                    return Err(GraphError::NonContiguousPorts {
+                        node: w,
+                        degree: wrow.len(),
+                    })
+                }
+            }
+            if vi < w.index() {
+                m += 1;
+            }
+        }
+    }
+    Ok(m)
+}
+
 impl PortLabeledGraph {
+    /// A structurally empty placeholder for in-place construction: crate
+    /// rebuilders overwrite the CSR vectors of an existing graph, and this
+    /// is the seed value the first build writes into. Never observable
+    /// through the public API of a successfully built graph.
+    pub(crate) fn placeholder() -> Self {
+        PortLabeledGraph {
+            offsets: vec![0],
+            adj: Vec::new(),
+            m: 0,
+        }
+    }
+
+    /// Crate-internal mutable access to the CSR storage for in-place
+    /// rebuilds. Callers must leave the invariants intact (or surface an
+    /// error and treat the graph as poisoned).
+    pub(crate) fn csr_parts_mut(
+        &mut self,
+    ) -> (&mut Vec<u32>, &mut Vec<(NodeId, Port)>, &mut usize) {
+        (&mut self.offsets, &mut self.adj, &mut self.m)
+    }
+
+    /// Crate-internal read access to the CSR storage.
+    pub(crate) fn csr_parts(&self) -> (&[u32], &[(NodeId, Port)]) {
+        (&self.offsets, &self.adj)
+    }
+
     /// Builds a graph directly from a per-node adjacency table where
     /// `adj[v][p-1]` is the endpoint reached through port `p` of `v`,
     /// together with the entry port used at that endpoint.
@@ -48,64 +161,32 @@ impl PortLabeledGraph {
     /// contains self-loops or parallel edges, or if the reverse-port
     /// cross-references are inconsistent.
     pub fn from_adjacency(adj: Vec<Vec<(NodeId, Port)>>) -> Result<Self, GraphError> {
-        let m = Self::check_table(&adj)?;
-        Ok(PortLabeledGraph { adj, m })
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        offsets.push(0u32);
+        let mut total = 0u32;
+        for row in &adj {
+            total += row.len() as u32;
+            offsets.push(total);
+        }
+        let flat: Vec<(NodeId, Port)> = adj.into_iter().flatten().collect();
+        let mut seen = Vec::new();
+        let m = check_csr(&offsets, &flat, &mut seen)?;
+        Ok(PortLabeledGraph {
+            offsets,
+            adj: flat,
+            m,
+        })
     }
 
-    /// Checks every model invariant over an adjacency table and returns the
-    /// undirected edge count. Shared by [`Self::from_adjacency`] and
-    /// [`Self::validate`]; uses a stamped seen-buffer so the whole check is
-    /// one `O(n)` allocation regardless of degree.
-    fn check_table(adj: &[Vec<(NodeId, Port)>]) -> Result<usize, GraphError> {
-        let n = adj.len();
-        if n == 0 {
-            return Err(GraphError::Empty);
-        }
-        let mut m = 0usize;
-        // seen[w] == stamp of the node currently being scanned means `w`
-        // already appeared in its row (a parallel edge).
-        let mut seen = vec![0u32; n];
-        for (vi, row) in adj.iter().enumerate() {
-            let v = NodeId::new(vi as u32);
-            let stamp = vi as u32 + 1;
-            for (pi, &(w, q)) in row.iter().enumerate() {
-                if w.index() >= n {
-                    return Err(GraphError::NodeOutOfRange { node: w, n });
-                }
-                if w.index() == vi {
-                    return Err(GraphError::SelfLoop { node: v });
-                }
-                if seen[w.index()] == stamp {
-                    return Err(GraphError::DuplicateEdge { u: v, v: w });
-                }
-                seen[w.index()] = stamp;
-                // Cross-reference: following q from w must come back to v
-                // through p.
-                let back = adj
-                    .get(w.index())
-                    .and_then(|r| r.get(q.index()))
-                    .copied();
-                match back {
-                    Some((back_node, back_port))
-                        if back_node == v && back_port.index() == pi => {}
-                    _ => {
-                        return Err(GraphError::NonContiguousPorts {
-                            node: w,
-                            degree: adj[w.index()].len(),
-                        })
-                    }
-                }
-                if vi < w.index() {
-                    m += 1;
-                }
-            }
-        }
-        Ok(m)
+    /// The half-edge row of `v`, in port order.
+    #[inline]
+    fn row(&self, v: NodeId) -> &[(NodeId, Port)] {
+        &self.adj[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
     }
 
     /// Number of nodes `n`.
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges `m_r`.
@@ -115,7 +196,7 @@ impl PortLabeledGraph {
 
     /// Iterator over all nodes.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len() as u32).map(NodeId::new)
+        (0..self.node_count() as u32).map(NodeId::new)
     }
 
     /// Degree `δ_r(v)` of a node.
@@ -124,19 +205,19 @@ impl PortLabeledGraph {
     ///
     /// Panics if `v` is out of range.
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.index()].len()
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
     }
 
     /// Follows port `p` out of node `v`: returns the neighbor reached and
     /// the entry port at that neighbor, or `None` if `p > δ(v)`.
     pub fn neighbor_via(&self, v: NodeId, p: Port) -> Option<(NodeId, Port)> {
-        self.adj[v.index()].get(p.index()).copied()
+        self.row(v).get(p.index()).copied()
     }
 
     /// Iterator over the neighbors of `v` as `(port at v, neighbor, port at
     /// neighbor)`, in increasing port order.
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (Port, NodeId, Port)> + '_ {
-        self.adj[v.index()]
+        self.row(v)
             .iter()
             .enumerate()
             .map(|(i, &(w, q))| (Port::from_index(i), w, q))
@@ -144,7 +225,7 @@ impl PortLabeledGraph {
 
     /// The port at `u` leading to `v`, if the edge `(u, v)` exists.
     pub fn port_to(&self, u: NodeId, v: NodeId) -> Option<Port> {
-        self.adj[u.index()]
+        self.row(u)
             .iter()
             .position(|&(w, _)| w == v)
             .map(Port::from_index)
@@ -157,11 +238,11 @@ impl PortLabeledGraph {
 
     /// Iterator over all undirected edges in canonical (`u < v`) form.
     pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
-        self.adj.iter().enumerate().flat_map(move |(vi, row)| {
-            let u = NodeId::new(vi as u32);
-            row.iter()
+        self.nodes().flat_map(move |u| {
+            self.row(u)
+                .iter()
                 .enumerate()
-                .filter(move |(_, &(w, _))| vi < w.index())
+                .filter(move |(_, &(w, _))| u.index() < w.index())
                 .map(move |(pi, &(w, q))| EdgeRef {
                     u,
                     v: w,
@@ -173,7 +254,11 @@ impl PortLabeledGraph {
 
     /// Maximum degree `Δ_r` of the graph.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Checks every model invariant (port contiguity, reverse-port
@@ -184,7 +269,19 @@ impl PortLabeledGraph {
     ///
     /// Returns the first violated invariant.
     pub fn validate(&self) -> Result<(), GraphError> {
-        Self::check_table(&self.adj).map(|_| ())
+        let mut seen = Vec::new();
+        self.validate_with(&mut seen)
+    }
+
+    /// [`Self::validate`] with a caller-provided stamp buffer, so a warm
+    /// caller (the simulator validates every adversary graph each round)
+    /// performs no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate_with(&self, seen: &mut Vec<u32>) -> Result<(), GraphError> {
+        check_csr(&self.offsets, &self.adj, seen).map(|_| ())
     }
 }
 
@@ -273,6 +370,27 @@ mod tests {
     #[test]
     fn validate_accepts_well_formed() {
         triangle().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_with_reuses_scratch() {
+        let g = triangle();
+        let mut seen = Vec::new();
+        g.validate_with(&mut seen).unwrap();
+        // A second pass over the same buffer must still be correct even
+        // though the buffer holds stale stamps.
+        g.validate_with(&mut seen).unwrap();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn clone_from_reuses_buffers_and_preserves_equality() {
+        let g = triangle();
+        let mut cache = crate::generators::cycle(8).unwrap();
+        cache.clone_from(&g);
+        assert_eq!(cache, g);
+        assert_eq!(cache.node_count(), 3);
+        assert_eq!(cache.edge_count(), 3);
     }
 
     #[test]

@@ -55,16 +55,64 @@ pub fn apply_port_permutations(
 
 /// Uniformly random relabeling of every node's ports.
 pub fn random_relabel(g: &PortLabeledGraph, seed: u64) -> PortLabeledGraph {
+    let mut scratch = RelabelScratch::default();
+    let mut out = g.clone();
+    random_relabel_into(g, seed, &mut scratch, &mut out);
+    out
+}
+
+/// Reusable buffers for [`random_relabel_into`]: one flat permutation
+/// array aligned with the source graph's half-edge rows.
+#[derive(Clone, Debug, Default)]
+pub struct RelabelScratch {
+    /// `new_index[offsets[v] + old] = new` port index within `v`'s row.
+    new_index: Vec<u32>,
+}
+
+/// [`random_relabel`] into an existing graph, overwriting its storage in
+/// place; warm calls perform no allocation. Draws the identical RNG
+/// sequence as `random_relabel` (one per-row shuffle per node, in node
+/// order), so the two produce byte-identical graphs for the same seed.
+///
+/// `out` must be a different object than `g`; its prior contents are
+/// irrelevant.
+pub fn random_relabel_into(
+    g: &PortLabeledGraph,
+    seed: u64,
+    scratch: &mut RelabelScratch,
+    out: &mut PortLabeledGraph,
+) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let perms: Vec<(NodeId, Vec<usize>)> = g
-        .nodes()
-        .map(|v| {
-            let mut perm: Vec<usize> = (0..g.degree(v)).collect();
-            perm.shuffle(&mut rng);
-            (v, perm)
-        })
-        .collect();
-    apply_port_permutations(g, &perms)
+    let (src_offsets, src_adj) = g.csr_parts();
+    let n = g.node_count();
+    // Per-node uniformly random permutations, row-aligned with the CSR.
+    let perm = &mut scratch.new_index;
+    perm.clear();
+    perm.resize(src_adj.len(), 0);
+    for vi in 0..n {
+        let row = &mut perm[src_offsets[vi] as usize..src_offsets[vi + 1] as usize];
+        for (i, slot) in row.iter_mut().enumerate() {
+            *slot = i as u32;
+        }
+        row.shuffle(&mut rng);
+    }
+    // Apply: half-edge (v, p) -> (w, q) lands at v's new slot perm[p],
+    // carrying w's new label for q.
+    let (offsets, adj, m) = out.csr_parts_mut();
+    offsets.clear();
+    offsets.extend_from_slice(src_offsets);
+    adj.clear();
+    adj.resize(src_adj.len(), (NodeId::new(0), Port::new(1)));
+    for vi in 0..n {
+        let base = src_offsets[vi] as usize;
+        let end = src_offsets[vi + 1] as usize;
+        for (pi, &(w, q)) in src_adj[base..end].iter().enumerate() {
+            let np = perm[base + pi] as usize;
+            let nq = perm[src_offsets[w.index()] as usize + q.index()];
+            adj[base + np] = (w, Port::from_index(nq as usize));
+        }
+    }
+    *m = g.edge_count();
 }
 
 /// Swaps two port labels at one node.
@@ -89,6 +137,18 @@ mod tests {
         a.node_count() == b.node_count()
             && a.edge_count() == b.edge_count()
             && a.edges().all(|e| b.has_edge(e.u, e.v))
+    }
+
+    #[test]
+    fn random_relabel_into_matches_allocating_form() {
+        let g = generators::random_connected(20, 0.15, 9).unwrap();
+        let mut scratch = RelabelScratch::default();
+        let mut out = g.clone();
+        for seed in 0..6 {
+            random_relabel_into(&g, seed, &mut scratch, &mut out);
+            assert_eq!(out, random_relabel(&g, seed), "seed {seed}");
+            out.validate().unwrap();
+        }
     }
 
     #[test]

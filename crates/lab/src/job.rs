@@ -298,13 +298,18 @@ fn check_policy(algorithm: AlgorithmKind, check: bool) -> CheckPolicy {
     }
 }
 
-fn run_with<A: DispersionAlgorithm>(
+fn run_with<A>(
     alg: A,
     job: &RunJob,
     spec: &CampaignSpec,
     check: bool,
     deadline: Option<Instant>,
-) -> Result<SimOutcome, SimError> {
+    threads: usize,
+) -> Result<SimOutcome, SimError>
+where
+    A: DispersionAlgorithm + Clone + Send + 'static,
+    A::Memory: Send + Sync,
+{
     let plan = if job.faults > 0 {
         FaultPlan::random(
             job.k,
@@ -326,6 +331,7 @@ fn run_with<A: DispersionAlgorithm>(
     .faults(plan)
     .check(check_policy(job.algorithm, check))
     .check_seed(job.derived_seed)
+    .threads(threads)
     .budget(match deadline {
         Some(d) => Budget::none().with_deadline(d),
         None => Budget::none(),
@@ -391,16 +397,31 @@ pub fn execute(
     check: bool,
     deadline: Option<Instant>,
 ) -> RunRecord {
+    execute_with_threads(job, spec, keep_traces, check, deadline, 1)
+}
+
+/// [`execute`] with `threads` engine workers inside the simulator. The
+/// record is byte-identical for every thread count (the executor's
+/// determinism contract); only `wall_time_us` varies.
+pub fn execute_with_threads(
+    job: &RunJob,
+    spec: &CampaignSpec,
+    keep_traces: bool,
+    check: bool,
+    deadline: Option<Instant>,
+    threads: usize,
+) -> RunRecord {
+    let t = threads;
     let base = base_record(job, spec);
     let start = Instant::now();
     let result = match job.algorithm {
-        AlgorithmKind::Alg4 => run_with(DispersionDynamic::new(), job, spec, check, deadline),
-        AlgorithmKind::LocalDfs => run_with(LocalDfs::new(), job, spec, check, deadline),
+        AlgorithmKind::Alg4 => run_with(DispersionDynamic::new(), job, spec, check, deadline, t),
+        AlgorithmKind::LocalDfs => run_with(LocalDfs::new(), job, spec, check, deadline, t),
         AlgorithmKind::RandomWalk => {
-            run_with(RandomWalk::new(job.derived_seed), job, spec, check, deadline)
+            run_with(RandomWalk::new(job.derived_seed), job, spec, check, deadline, t)
         }
-        AlgorithmKind::GreedyLocal => run_with(GreedyLocal::new(), job, spec, check, deadline),
-        AlgorithmKind::BlindGlobal => run_with(BlindGlobal::new(), job, spec, check, deadline),
+        AlgorithmKind::GreedyLocal => run_with(GreedyLocal::new(), job, spec, check, deadline, t),
+        AlgorithmKind::BlindGlobal => run_with(BlindGlobal::new(), job, spec, check, deadline, t),
     };
     let wall_time_us = start.elapsed().as_micros() as u64;
     match result {

@@ -80,6 +80,15 @@ pub struct RunnerOptions {
     /// drills and the recovery self-tests); disarmed and free by
     /// default.
     pub failpoints: FailpointRegistry,
+    /// Engine worker threads granted to *each* job's simulator.
+    ///
+    /// Thread budgeting: the runner's job-level parallelism multiplies
+    /// with the engine's intra-run parallelism, so the effective value
+    /// is clamped to keep `workers × engine_threads` within the
+    /// machine's available cores (see [`effective_engine_threads`]).
+    /// The determinism guarantee is unaffected — a run's records are
+    /// byte-identical for any thread count.
+    pub engine_threads: usize,
 }
 
 impl Default for RunnerOptions {
@@ -96,8 +105,19 @@ impl Default for RunnerOptions {
             backoff_ms: 100,
             fsync: FsyncPolicy::EveryRecord,
             failpoints: FailpointRegistry::disarmed(),
+            engine_threads: 1,
         }
     }
+}
+
+/// The engine thread count each of `workers` concurrent jobs actually
+/// gets: `engine_threads` clamped so `workers × threads` does not
+/// exceed the available cores (never below 1). Campaigns oversubscribed
+/// on the job axis therefore degrade to sequential engines instead of
+/// thrashing.
+pub fn effective_engine_threads(engine_threads: usize, workers: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    engine_threads.max(1).min((cores / workers.max(1)).max(1))
 }
 
 /// The deterministic capped exponential backoff before retry `attempt`
@@ -332,6 +352,7 @@ fn execute_caught(
     job: &RunJob,
     spec: &CampaignSpec,
     opts: &RunnerOptions,
+    engine_threads: usize,
     deadline: Option<Instant>,
     failpoint: Option<FailAction>,
 ) -> RunRecord {
@@ -346,7 +367,14 @@ fn execute_caught(
             Some(FailAction::Hang { ms }) => std::thread::sleep(Duration::from_millis(ms)),
             _ => {}
         }
-        job::execute(job, spec, opts.keep_traces, opts.check, deadline)
+        job::execute_with_threads(
+            job,
+            spec,
+            opts.keep_traces,
+            opts.check,
+            deadline,
+            engine_threads,
+        )
     }));
     CAPTURING.with(|c| c.set(false));
     result.unwrap_or_else(|payload| {
@@ -442,6 +470,7 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunnerOptions) -> Result<Campaig
     let executed = pending.len();
 
     let workers = opts.jobs.max(1).min(pending.len().max(1));
+    let engine_threads = effective_engine_threads(opts.engine_threads, workers);
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let injected: Mutex<Option<LabError>> = Mutex::new(None);
@@ -475,7 +504,7 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunnerOptions) -> Result<Campaig
                         abort.store(true, Ordering::Relaxed);
                         break 'jobs;
                     }
-                    let mut rec = execute_caught(job, spec, opts, deadline, action);
+                    let mut rec = execute_caught(job, spec, opts, engine_threads, deadline, action);
                     rec.attempt = attempt;
                     let terminal = rec.status.is_terminal(attempt, opts.retries);
                     // A job whose *granted* retries are all spent is

@@ -69,6 +69,13 @@ pub struct BenchCase {
     pub n: usize,
     /// Full runs to average over.
     pub repeats: usize,
+    /// Engine worker threads (1 = the sequential executor).
+    pub threads: usize,
+    /// Round cap per run. Classic rows pin `n` (a full dispersion
+    /// attempt); the large-`n` scaling rows pin a flat cap so the
+    /// protocol stays tractable and measures the same early-regime
+    /// work at every size.
+    pub round_cap: u64,
 }
 
 impl BenchCase {
@@ -77,22 +84,70 @@ impl BenchCase {
         self.n / 2
     }
 
-    /// Stable `family/n` label.
+    /// Stable `family/n[xT]` label.
     pub fn label(&self) -> String {
-        format!("{}/{}", self.network.name(), self.n)
+        if self.threads > 1 {
+            format!("{}/{}x{}", self.network.name(), self.n, self.threads)
+        } else {
+            format!("{}/{}", self.network.name(), self.n)
+        }
     }
 }
 
-/// The standard engine benchmark matrix: ring/grid/adversarial at
-/// n ∈ {64, 256, 1024}. `quick` drops the n = 1024 row and runs one
-/// repeat per case — the CI smoke configuration.
+/// Round cap shared by the large-`n` scaling rows (see
+/// [`BenchCase::round_cap`]).
+pub const SCALING_ROUND_CAP: u64 = 256;
+
+/// The standard engine benchmark matrix.
+///
+/// Full mode pins three groups:
+/// 1. the classic single-thread rows — ring/grid/adversarial at
+///    n ∈ {64, 256, 1024}, round cap `n` — comparable with every
+///    earlier committed baseline;
+/// 2. the thread axis on the canonical regression target — ring/1024
+///    at threads ∈ {2, 4, 8}, same protocol as its classic row;
+/// 3. the scaling curve — ring at n ∈ {1024, 4096, 16384} × threads
+///    ∈ {1, 8}, capped at [`SCALING_ROUND_CAP`] rounds so the largest
+///    size stays tractable.
+///
+/// `quick` is the CI smoke configuration: the classic rows with
+/// n ≤ 256, one repeat each (run the whole matrix again with a
+/// `--threads` override for the parallel smoke leg).
 pub fn engine_cases(quick: bool) -> Vec<BenchCase> {
     let sizes: &[usize] = if quick { &[64, 256] } else { &[64, 256, 1024] };
     let mut cases = Vec::new();
     for &network in &[BenchNetwork::Ring, BenchNetwork::Grid, BenchNetwork::Adversarial] {
         for &n in sizes {
             let repeats = if quick { 1 } else { (2048 / n).max(2) };
-            cases.push(BenchCase { network, n, repeats });
+            cases.push(BenchCase {
+                network,
+                n,
+                repeats,
+                threads: 1,
+                round_cap: n as u64,
+            });
+        }
+    }
+    if !quick {
+        for threads in [2usize, 4, 8] {
+            cases.push(BenchCase {
+                network: BenchNetwork::Ring,
+                n: 1024,
+                repeats: 2,
+                threads,
+                round_cap: 1024,
+            });
+        }
+        for &n in &[1024usize, 4096, 16384] {
+            for threads in [1usize, 8] {
+                cases.push(BenchCase {
+                    network: BenchNetwork::Ring,
+                    n,
+                    repeats: 1,
+                    threads,
+                    round_cap: SCALING_ROUND_CAP,
+                });
+            }
         }
     }
     cases
@@ -107,6 +162,10 @@ pub struct Throughput {
     pub n: usize,
     /// Robots.
     pub k: usize,
+    /// Engine worker threads the case ran on.
+    pub threads: usize,
+    /// Round cap per run (`n` for the classic rows).
+    pub round_cap: u64,
     /// Full runs measured.
     pub runs: usize,
     /// Rounds executed across all runs.
@@ -142,6 +201,8 @@ impl Throughput {
         o.str_field("network", &self.network)
             .u64_field("n", self.n as u64)
             .u64_field("k", self.k as u64)
+            .u64_field("threads", self.threads as u64)
+            .u64_field("round_cap", self.round_cap)
             .u64_field("runs", self.runs as u64)
             .u64_field("rounds", self.rounds)
             .u64_field("robot_steps", self.robot_steps)
@@ -175,8 +236,9 @@ pub fn measure(case: &BenchCase) -> Throughput {
             ModelSpec::GLOBAL_WITH_NEIGHBORHOOD,
             Configuration::rooted(case.n, k, NodeId::new(0)),
         )
-        .max_rounds(case.n as u64)
+        .max_rounds(case.round_cap)
         .trace(TracePolicy::Off)
+        .threads(case.threads)
         .build()
         .expect("k ≤ n");
         let start = Instant::now();
@@ -189,6 +251,8 @@ pub fn measure(case: &BenchCase) -> Throughput {
         network: case.network.name().to_string(),
         n: case.n,
         k,
+        threads: case.threads,
+        round_cap: case.round_cap,
         runs: case.repeats,
         rounds: total_rounds,
         robot_steps: total_steps,
@@ -198,18 +262,95 @@ pub fn measure(case: &BenchCase) -> Throughput {
 
 /// Renders measurements as an aligned text table.
 pub fn render_table(results: &[Throughput]) -> String {
-    let mut t = Table::new(["network", "n", "k", "rounds", "rounds/s", "robot-steps/s"]);
+    let mut t = Table::new([
+        "network",
+        "n",
+        "k",
+        "threads",
+        "cap",
+        "rounds",
+        "rounds/s",
+        "robot-steps/s",
+    ]);
     for r in results {
         t.row([
             r.network.clone(),
             r.n.to_string(),
             r.k.to_string(),
+            r.threads.to_string(),
+            r.round_cap.to_string(),
             r.rounds.to_string(),
             format!("{:.0}", r.rounds_per_sec()),
             format!("{:.0}", r.robot_steps_per_sec()),
         ]);
     }
     t.render()
+}
+
+/// Compares single-thread measurements against a committed baseline's
+/// `results` array and reports rows slower by more than
+/// `max_regression_pct` percent.
+///
+/// Rows are matched on (network, n, threads, round cap); baseline rows
+/// that predate the threads axis are read as `threads = 1`,
+/// `round_cap = n`. Current rows with `threads > 1` or without a
+/// baseline counterpart are skipped — the gate protects the sequential
+/// path, where variance is lowest and the contract is "no worse than
+/// before".
+///
+/// Returns a per-row report on success and a report naming every
+/// regressed row on failure.
+pub fn regression_gate(
+    current: &[Throughput],
+    baseline_results: &str,
+    max_regression_pct: f64,
+) -> Result<String, String> {
+    let mut report = String::new();
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for r in current.iter().filter(|r| r.threads == 1) {
+        let Some(base) = baseline_results.lines().find(|line| {
+            crate::json::str_value(line, "network").as_deref() == Some(&r.network)
+                && crate::json::u64_value(line, "n") == Some(r.n as u64)
+                && crate::json::u64_value(line, "threads").unwrap_or(1) == 1
+                && crate::json::u64_value(line, "round_cap").unwrap_or(r.n as u64)
+                    == r.round_cap
+        }) else {
+            continue;
+        };
+        let Some(base_rps) = crate::json::f64_value(base, "rounds_per_sec") else {
+            continue;
+        };
+        compared += 1;
+        let rps = r.rounds_per_sec();
+        let delta_pct = (rps - base_rps) / base_rps * 100.0;
+        let regressed = delta_pct < -max_regression_pct;
+        if regressed {
+            failures += 1;
+        }
+        let _ = writeln!(
+            report,
+            "{} {}/{}: {:.1} rounds/s vs baseline {:.1} ({:+.1}%)",
+            if regressed { "FAIL" } else { "  ok" },
+            r.network,
+            r.n,
+            rps,
+            base_rps,
+            delta_pct,
+        );
+    }
+    if compared == 0 {
+        return Err("regression gate matched no baseline rows".to_string());
+    }
+    if failures > 0 {
+        let _ = writeln!(
+            report,
+            "{failures} row(s) regressed by more than {max_regression_pct}%"
+        );
+        Err(report)
+    } else {
+        Ok(report)
+    }
 }
 
 /// Renders the `BENCH_engine.json` document: the current measurements,
@@ -261,10 +402,28 @@ mod tests {
     fn quick_matrix_shape() {
         let cases = engine_cases(true);
         assert_eq!(cases.len(), 6);
-        assert!(cases.iter().all(|c| c.n <= 256 && c.repeats == 1));
+        assert!(cases
+            .iter()
+            .all(|c| c.n <= 256 && c.repeats == 1 && c.threads == 1));
         let full = engine_cases(false);
-        assert_eq!(full.len(), 9);
-        assert!(full.iter().any(|c| c.n == 1024));
+        assert_eq!(full.len(), 18);
+        // The classic rows survive unchanged for baseline comparability.
+        assert_eq!(
+            full.iter()
+                .filter(|c| c.threads == 1 && c.round_cap == c.n as u64)
+                .count(),
+            9
+        );
+        // Thread axis on the canonical regression target.
+        assert!(full
+            .iter()
+            .any(|c| c.network == BenchNetwork::Ring && c.n == 1024 && c.threads == 8));
+        // Scaling rows reach the top size at both thread counts.
+        for threads in [1usize, 8] {
+            assert!(full.iter().any(|c| c.n == 16384
+                && c.threads == threads
+                && c.round_cap == SCALING_ROUND_CAP));
+        }
     }
 
     #[test]
@@ -273,6 +432,8 @@ mod tests {
             network: BenchNetwork::Ring,
             n: 64,
             repeats: 1,
+            threads: 1,
+            round_cap: 64,
         });
         assert_eq!(t.k, 32);
         assert!(t.rounds > 0);
@@ -280,26 +441,95 @@ mod tests {
         assert!(t.rounds_per_sec() > 0.0);
         let json = t.to_json();
         assert!(json.contains("\"network\":\"ring\""), "{json}");
+        assert!(json.contains("\"threads\":1"), "{json}");
         let table = render_table(&[t]);
         assert!(table.contains("robot-steps/s"), "{table}");
     }
 
     #[test]
-    fn bench_json_round_trips_baseline() {
-        let t = Throughput {
-            network: "ring".into(),
+    fn measure_agrees_across_thread_counts() {
+        let case = |threads| BenchCase {
+            network: BenchNetwork::Adversarial,
             n: 64,
-            k: 32,
-            runs: 1,
-            rounds: 10,
-            robot_steps: 320,
-            wall_s: 0.5,
+            repeats: 1,
+            threads,
+            round_cap: 64,
         };
+        let seq = measure(&case(1));
+        let par = measure(&case(4));
+        // Rounds and robot-steps are part of the deterministic outcome;
+        // only the wall clock may differ.
+        assert_eq!(seq.rounds, par.rounds);
+        assert_eq!(seq.robot_steps, par.robot_steps);
+        assert_eq!(par.threads, 4);
+    }
+
+    fn sample(network: &str, n: usize, wall_s: f64) -> Throughput {
+        Throughput {
+            network: network.into(),
+            n,
+            k: n / 2,
+            threads: 1,
+            round_cap: n as u64,
+            runs: 1,
+            rounds: 100,
+            robot_steps: 100 * (n as u64 / 2),
+            wall_s,
+        }
+    }
+
+    #[test]
+    fn bench_json_round_trips_baseline() {
+        let t = sample("ring", 64, 0.5);
         let doc = render_bench_json("post", std::slice::from_ref(&t), None);
         let arr = extract_results_array(&doc).expect("results array");
         assert!(arr.starts_with('['), "{arr}");
         let doc2 = render_bench_json("post2", &[t], Some(("pre", &arr)));
         assert!(doc2.contains("\"baseline_label\": \"pre\""), "{doc2}");
         assert!(extract_results_array(&doc2).is_some());
+    }
+
+    #[test]
+    fn gate_passes_when_at_least_as_fast() {
+        let base = render_bench_json("base", &[sample("ring", 64, 0.5)], None);
+        let arr = extract_results_array(&base).expect("results array");
+        let current = [sample("ring", 64, 0.49)];
+        let report = regression_gate(&current, &arr, 5.0).expect("no regression");
+        assert!(report.contains("ok"), "{report}");
+    }
+
+    #[test]
+    fn gate_fails_on_large_slowdown() {
+        let base = render_bench_json("base", &[sample("ring", 64, 0.5)], None);
+        let arr = extract_results_array(&base).expect("results array");
+        let current = [sample("ring", 64, 0.6)];
+        let report = regression_gate(&current, &arr, 5.0).expect_err("regressed");
+        assert!(report.contains("FAIL"), "{report}");
+    }
+
+    #[test]
+    fn gate_ignores_parallel_and_unmatched_rows() {
+        let base = render_bench_json("base", &[sample("ring", 64, 0.5)], None);
+        let arr = extract_results_array(&base).expect("results array");
+        let mut par = sample("ring", 64, 10.0);
+        par.threads = 8;
+        let unmatched = sample("grid", 256, 10.0);
+        // Slow parallel/unmatched rows do not trip the gate...
+        let current = [sample("ring", 64, 0.5), par, unmatched];
+        regression_gate(&current, &arr, 5.0).expect("only the matched seq row counts");
+        // ...but a gate that matches nothing is an error, not a pass.
+        let none = [sample("torus", 64, 0.5)];
+        regression_gate(&none, &arr, 5.0).expect_err("no rows matched");
+    }
+
+    #[test]
+    fn gate_reads_pre_threads_baselines() {
+        // Rows emitted before the threads axis carry neither `threads`
+        // nor `round_cap`; they gate against threads=1, cap=n rows.
+        let legacy = "[\n{\"network\":\"ring\",\"n\":64,\"k\":32,\"runs\":1,\
+                      \"rounds\":100,\"robot_steps\":3200,\"wall_s\":0.500000,\
+                      \"rounds_per_sec\":200.0,\"robot_steps_per_sec\":6400.0}\n]";
+        let current = [sample("ring", 64, 0.5)];
+        regression_gate(&current, legacy, 5.0).expect("legacy baseline matches");
     }
 }
